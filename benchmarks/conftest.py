@@ -1,0 +1,46 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports.  By default a trimmed workload
+set keeps the whole directory under ~10 minutes; set ``REPRO_SCALE=paper``
+for the full benchmark-input matrix (all five graphs, all eight hpc-db
+kernels, longer ROIs).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentScale
+
+
+def bench_scale():
+    if os.environ.get("REPRO_SCALE") in ("full", "paper"):
+        return ExperimentScale.full()
+    return ExperimentScale(
+        gap_graphs=("KR", "UR"),
+        hpcdb=("camel", "hj8", "kangaroo", "nas-is", "randomaccess"),
+        max_instructions=10_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def run_and_print(benchmark, experiment, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and print
+    its rendered table (simulations are deterministic, so one round is
+    the measurement)."""
+    result_box = {}
+
+    def _run():
+        result_box["result"] = experiment(*args, **kwargs)
+        return result_box["result"]
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    result = result_box["result"]
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Database workload study: hash-join probing and hashed histogramming.
+
+Runs the database-style hpc-db kernels (HJ2, HJ8, Camel, Kangaroo) under
+the baseline, VR and DVR, and inspects the mechanisms: how often VR's
+full-ROB trigger fires, how much commit time its delayed termination
+costs, and how DVR's short-inner-loop handling (loop bounds + Nested
+Discovery Mode) behaves on the 2-probe vs 8-probe join.
+
+Usage::
+
+    python examples/database_hashjoin.py [--instructions N]
+"""
+
+import argparse
+
+from repro import SimConfig, make_workload, run_workload
+from repro.harness.report import format_table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=12_000)
+    args = parser.parse_args()
+
+    config = SimConfig(max_instructions=args.instructions)
+    rows = []
+    mechanism_rows = []
+    for name in ("hj2", "hj8", "camel", "kangaroo"):
+        base = run_workload(make_workload(name), config, technique="ooo")
+        vr = run_workload(make_workload(name), config, technique="vr")
+        dvr = run_workload(make_workload(name), config, technique="dvr")
+        rows.append([name, base.ipc, vr.speedup_over(base),
+                     dvr.speedup_over(base),
+                     100.0 * base.rob_full_fraction])
+        mechanism_rows.append([
+            name,
+            vr.engine_stats.get("vr_intervals", 0),
+            100.0 * vr.engine_stats.get("vr_delayed_termination_cycles", 0)
+            / max(1, vr.cycles),
+            dvr.engine_stats.get("dvr_spawns", 0),
+            dvr.engine_stats.get("dvr_ndm_entries", 0),
+            dvr.engine_stats.get("dvr_lane_loads", 0),
+        ])
+
+    print(format_table(
+        ["kernel", "base IPC", "VR speedup", "DVR speedup", "ROB-full %"],
+        rows, title="Database kernels: VR vs DVR"))
+    print()
+    print(format_table(
+        ["kernel", "VR intervals", "VR delay %", "DVR spawns",
+         "DVR NDM entries", "DVR lane loads"],
+        mechanism_rows, title="Mechanism statistics"))
+    print("\nReading guide: the predictable probe loops fill the ROB, so "
+          "VR gets its trigger here (unlike the GAP kernels); the paper's "
+          "delayed-termination cost shows up in 'VR delay %'. The probe "
+          "loops contain no striding load of their own, so DVR "
+          "vectorizes across keys (the outer loop), unrolling the probes "
+          "inside each lane.")
+
+
+if __name__ == "__main__":
+    main()

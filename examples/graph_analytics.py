@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Graph analytics study: every prefetching technique on the GAP kernels.
+
+The paper's motivating domain.  Runs bc/bfs/cc/pr/sssp on a chosen graph
+input under the baseline, PRE, IMP, VR, DVR and the Oracle, and prints a
+Fig-7-style speedup table plus the branch/memory character of each kernel
+(which explains *why* the techniques separate: the branchy worklist
+kernels starve the out-of-order window, so only a decoupled prefetcher
+keeps the memory system busy).
+
+Usage::
+
+    python examples/graph_analytics.py [--graph KR] [--instructions N]
+"""
+
+import argparse
+
+from repro import SimConfig, hmean, make_workload, run_workload
+from repro.config import ALL_TECHNIQUES
+from repro.harness.report import format_table
+from repro.workloads import GAP_WORKLOADS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--graph", default="KR")
+    parser.add_argument("--instructions", type=int, default=12_000)
+    args = parser.parse_args()
+
+    config = SimConfig(max_instructions=args.instructions)
+    techniques = [tech for tech in ALL_TECHNIQUES if tech != "ooo"]
+
+    rows = []
+    character_rows = []
+    per_tech = {tech: [] for tech in techniques}
+    for kernel in sorted(GAP_WORKLOADS):
+        base = run_workload(make_workload(kernel, graph=args.graph),
+                            config, technique="ooo")
+        character_rows.append([
+            f"{kernel}_{args.graph}", base.ipc, base.mlp,
+            base.branch_mpki, base.demand_mpki,
+            100.0 * base.rob_full_fraction])
+        row = [f"{kernel}_{args.graph}"]
+        for tech in techniques:
+            metrics = run_workload(make_workload(kernel, graph=args.graph),
+                                   config, technique=tech)
+            speedup = metrics.speedup_over(base)
+            per_tech[tech].append(speedup)
+            row.append(speedup)
+        rows.append(row)
+    rows.append(["H-mean"] + [hmean(per_tech[tech]) for tech in techniques])
+
+    print(format_table(
+        ["kernel", "IPC", "MLP", "br-MPKI", "mem-MPKI", "ROB-full %"],
+        character_rows,
+        title=f"Baseline character on the {args.graph} input"))
+    print()
+    print(format_table(["kernel"] + techniques, rows,
+                       title="Speedup over the baseline OoO core"))
+    print("\nReading guide: high branch-MPKI keeps the ROB from filling, "
+          "so stall-triggered runahead (PRE/VR) rarely fires -- while "
+          "DVR, decoupled from stalls, keeps prefetching (paper Fig 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate BFS on a Kronecker graph with and without DVR.
+
+Runs the baseline out-of-order core and the same core with the Decoupled
+Vector Runahead engine, then prints the headline numbers the paper is
+about: IPC, speedup, memory-level parallelism, and where the main thread
+found DVR's prefetched lines.
+
+Usage::
+
+    python examples/quickstart.py [--instructions N] [--graph KR|UR|...]
+"""
+
+import argparse
+
+from repro import SimConfig, make_workload, run_workload
+from repro.config import CoreConfig, DvrConfig
+from repro.core.hw_cost import hardware_budget, total_bytes
+from repro.memsys.hierarchy import LEVELS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=20_000,
+                        help="ROI length in committed instructions")
+    parser.add_argument("--graph", default="KR",
+                        help="graph input: KR, LJN, ORK, TW, UR")
+    args = parser.parse_args()
+
+    config = SimConfig(max_instructions=args.instructions)
+
+    print(f"Simulating bfs_{args.graph} for {args.instructions:,} "
+          "instructions...\n")
+    baseline = run_workload(make_workload("bfs", graph=args.graph),
+                            config, technique="ooo")
+    dvr = run_workload(make_workload("bfs", graph=args.graph),
+                       config, technique="dvr")
+
+    print(f"{'metric':28s} {'baseline OoO':>14s} {'DVR':>14s}")
+    print("-" * 58)
+    print(f"{'IPC':28s} {baseline.ipc:14.3f} {dvr.ipc:14.3f}")
+    print(f"{'cycles':28s} {baseline.cycles:14,d} {dvr.cycles:14,d}")
+    print(f"{'MLP (MSHRs/cycle)':28s} {baseline.mlp:14.1f} {dvr.mlp:14.1f}")
+    main_b, runahead_b = baseline.dram_split()
+    main_d, runahead_d = dvr.dram_split()
+    print(f"{'DRAM accesses (main thread)':28s} {main_b:14,d} {main_d:14,d}")
+    print(f"{'DRAM accesses (runahead)':28s} {runahead_b:14,d} "
+          f"{runahead_d:14,d}")
+    print(f"\nDVR speedup: {dvr.speedup_over(baseline):.2f}x")
+
+    stats = dvr.engine_stats
+    print(f"\nDVR activity: {stats['dvr_spawns']} subthread invocations, "
+          f"{stats['dvr_lane_loads']:,} lane loads, "
+          f"{stats['dvr_divergences']} divergences, "
+          f"{stats['dvr_ndm_entries']} nested-mode entries")
+
+    fractions = dvr.timeliness_fractions("dvr")
+    timeline = ", ".join(f"{level}: {fractions[level]:.0%}"
+                         for level in LEVELS)
+    print(f"Prefetched lines found in: {timeline}")
+
+    print(f"\nDVR hardware overhead: "
+          f"{total_bytes(DvrConfig(), CoreConfig())} bytes")
+    for name, bits, nbytes in hardware_budget(DvrConfig(), CoreConfig()):
+        print(f"  {name:26s} {nbytes:5d} B")
+
+
+if __name__ == "__main__":
+    main()

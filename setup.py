@@ -1,0 +1,7 @@
+"""Shim for offline editable installs (`pip install -e . --no-build-isolation`
+needs the `wheel` package, which is not available in this environment).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

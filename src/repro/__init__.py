@@ -1,0 +1,66 @@
+"""Decoupled Vector Runahead (MICRO 2023) -- a full-system reproduction.
+
+A cycle-level out-of-order core simulator in pure Python, with the
+memory hierarchy, branch prediction, baseline prefetching techniques
+(stride, IMP, PRE, VR, Oracle) and the paper's contribution: the
+Decoupled Vector Runahead engine.
+
+Quick start::
+
+    from repro import SimConfig, run_workload, make_workload
+
+    config = SimConfig(max_instructions=20_000)
+    metrics = run_workload(make_workload("bfs", graph="KR"),
+                           config, technique="dvr")
+    print(metrics.ipc, metrics.mlp)
+"""
+
+from .config import (ALL_TECHNIQUES, DVR_BREAKDOWN, BranchConfig, CacheConfig,
+                     CoreConfig, DvrConfig, ImpConfig, MemSysConfig,
+                     RunaheadConfig, SimConfig, StridePrefetcherConfig,
+                     TECH_DVR, TECH_DVR_DISCOVERY, TECH_DVR_OFFLOAD, TECH_IMP,
+                     TECH_OOO, TECH_ORACLE, TECH_PRE, TECH_VR, paper_config,
+                     table1_rows)
+from .harness import (ExperimentScale, Metrics, hmean, run_built,
+                      run_techniques, run_workload)
+from .workloads import (ALL_WORKLOADS, GAP_WORKLOADS, GRAPH_INPUTS,
+                        HPCDB_WORKLOADS, benchmark_matrix, make_workload)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ALL_TECHNIQUES",
+    "ALL_WORKLOADS",
+    "BranchConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "DVR_BREAKDOWN",
+    "DvrConfig",
+    "ExperimentScale",
+    "GAP_WORKLOADS",
+    "GRAPH_INPUTS",
+    "HPCDB_WORKLOADS",
+    "ImpConfig",
+    "MemSysConfig",
+    "Metrics",
+    "RunaheadConfig",
+    "SimConfig",
+    "StridePrefetcherConfig",
+    "TECH_DVR",
+    "TECH_DVR_DISCOVERY",
+    "TECH_DVR_OFFLOAD",
+    "TECH_IMP",
+    "TECH_OOO",
+    "TECH_ORACLE",
+    "TECH_PRE",
+    "TECH_VR",
+    "__version__",
+    "benchmark_matrix",
+    "hmean",
+    "make_workload",
+    "paper_config",
+    "run_built",
+    "run_techniques",
+    "run_workload",
+    "table1_rows",
+]

@@ -1,0 +1,134 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig7 --instructions 20000 --graphs KR UR
+    python -m repro all --scale full
+    python -m repro run bfs --graph KR --technique dvr
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .config import ALL_TECHNIQUES, DVR_BREAKDOWN, SimConfig
+from .harness.experiments import ALL_EXPERIMENTS, ExperimentScale
+from .harness.runner import run_workload
+from .workloads import ALL_WORKLOADS, GAP_WORKLOADS, make_workload
+
+
+def _scale_from_args(args):
+    if args.scale == "full":
+        scale = ExperimentScale.full()
+    else:
+        scale = ExperimentScale()
+    if args.graphs:
+        scale.gap_graphs = tuple(args.graphs)
+    if args.instructions:
+        scale.max_instructions = args.instructions
+    return scale
+
+
+def cmd_list(_args):
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("workloads:  ", ", ".join(sorted(ALL_WORKLOADS)))
+    print("techniques: ", ", ".join(ALL_TECHNIQUES + DVR_BREAKDOWN[1:3]))
+    return 0
+
+
+def _maybe_save(result, args):
+    if not args.out:
+        return
+    payload = {"name": result.name, "headers": result.headers,
+               "rows": result.rows, "notes": result.notes}
+    with open(args.out, "a") as handle:
+        handle.write(json.dumps(payload) + "\n")
+    print(f"[saved {result.name!r} -> {args.out}]")
+
+
+def cmd_experiment(args):
+    experiment = ALL_EXPERIMENTS[args.command]
+    if args.command == "table1":
+        result = experiment()
+    else:
+        result = experiment(_scale_from_args(args))
+    print(result.render())
+    _maybe_save(result, args)
+    return 0
+
+
+def cmd_all(args):
+    scale = _scale_from_args(args)
+    for name in ("table1", "table2", "fig2", "fig7", "fig8", "fig9",
+                 "fig10", "fig11", "fig12"):
+        experiment = ALL_EXPERIMENTS[name]
+        result = experiment() if name == "table1" else experiment(scale)
+        print(result.render())
+        print()
+        _maybe_save(result, args)
+    return 0
+
+
+def cmd_run(args):
+    config = SimConfig(max_instructions=args.instructions or 20_000)
+    if args.workload in GAP_WORKLOADS:
+        workload = make_workload(args.workload, graph=args.graph or "KR")
+    else:
+        workload = make_workload(args.workload)
+    metrics = run_workload(workload, config, technique=args.technique)
+    print(f"workload   {metrics.workload}")
+    print(f"technique  {metrics.technique}")
+    print(f"IPC        {metrics.ipc:.3f}")
+    print(f"cycles     {metrics.cycles:,}")
+    print(f"MLP        {metrics.mlp:.2f}")
+    print(f"MPKI       {metrics.mpki:.1f}")
+    print(f"ROB-full   {metrics.rob_full_fraction:.1%}")
+    print(f"DRAM       main={metrics.dram_split()[0]:,} "
+          f"runahead={metrics.dram_split()[1]:,}")
+    stack = " ".join(f"{name}={value:.2f}"
+                     for name, value in metrics.cpi_stack.items() if value)
+    print(f"CPI stack  {stack}")
+    for key, value in sorted(metrics.engine_stats.items()):
+        if value:
+            print(f"{key:28s} {value}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Decoupled Vector Runahead reproduction harness")
+    parser.add_argument("command",
+                        choices=sorted(ALL_EXPERIMENTS) + ["all", "list",
+                                                           "run"])
+    parser.add_argument("workload", nargs="?",
+                        help="workload name (for `run`)")
+    parser.add_argument("--technique", default="dvr",
+                        choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
+    parser.add_argument("--graph", default=None)
+    parser.add_argument("--graphs", nargs="*", default=None,
+                        help="GAP graph inputs for experiments")
+    parser.add_argument("--instructions", type=int, default=None)
+    parser.add_argument("--scale", choices=("small", "full"),
+                        default="small")
+    parser.add_argument("--out", default=None,
+                        help="append experiment results as JSON lines")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "all":
+        return cmd_all(args)
+    if args.command == "run":
+        if not args.workload:
+            parser.error("`run` needs a workload name")
+        return cmd_run(args)
+    return cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Branch prediction."""
+
+from .predictor import TagePredictor
+
+__all__ = ["TagePredictor"]

@@ -1,0 +1,116 @@
+"""TAGE-lite conditional branch predictor.
+
+A faithful-in-spirit, simplified TAGE: a bimodal base table plus several
+partially-tagged tables indexed by geometrically increasing global-history
+lengths.  The longest-history matching table provides the prediction;
+allocation on mispredict follows the standard TAGE policy.  Sized to the
+paper's 8 KB budget.
+
+Branch *targets* need no prediction in this ISA: all branches are direct,
+so a BTB would be perfect and is not modelled.
+"""
+
+from __future__ import annotations
+
+
+def _fold(history, length, bits):
+    """Fold ``length`` bits of history into ``bits`` bits by xor."""
+    history &= (1 << length) - 1
+    folded = 0
+    while history:
+        folded ^= history & ((1 << bits) - 1)
+        history >>= bits
+    return folded
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self):
+        self.tag = -1
+        self.counter = 0   # signed: >=0 predicts taken
+        self.useful = 0
+
+
+class TagePredictor:
+    def __init__(self, config):
+        self.config = config
+        self._bimodal = [1] * (1 << config.bimodal_bits)  # 2-bit, weak-taken=1... weak-not=1? use 0..3, init 1 (weakly not-taken)
+        self._bimodal_mask = (1 << config.bimodal_bits) - 1
+        self._tables = []
+        self._index_bits = config.tagged_bits
+        self._tag_bits = config.tag_bits
+        for _ in range(config.tagged_tables):
+            self._tables.append(
+                [_TaggedEntry() for _ in range(1 << config.tagged_bits)])
+        self._histories = tuple(config.history_lengths)
+        self._ghist = 0
+        self.lookups = 0
+        self.mispredicts = 0
+
+    # ------------------------------------------------------------------
+    def _indices(self, pc):
+        indices = []
+        tags = []
+        mask = (1 << self._index_bits) - 1
+        tag_mask = (1 << self._tag_bits) - 1
+        for table_num, hist_len in enumerate(self._histories):
+            folded = _fold(self._ghist, hist_len, self._index_bits)
+            indices.append((pc ^ folded ^ (pc >> (table_num + 1))) & mask)
+            folded_tag = _fold(self._ghist, hist_len, self._tag_bits)
+            tags.append((pc ^ (folded_tag << 1)) & tag_mask)
+        return indices, tags
+
+    def predict(self, pc):
+        """Return (taken?, provider_info) for a conditional branch at pc."""
+        self.lookups += 1
+        indices, tags = self._indices(pc)
+        provider = -1
+        prediction = self._bimodal[pc & self._bimodal_mask] >= 2
+        for table_num in range(len(self._tables) - 1, -1, -1):
+            entry = self._tables[table_num][indices[table_num]]
+            if entry.tag == tags[table_num]:
+                provider = table_num
+                prediction = entry.counter >= 0
+                break
+        return prediction, (provider, indices, tags)
+
+    def update(self, pc, taken, prediction, info):
+        """Train after the branch resolves."""
+        provider, indices, tags = info
+        correct = prediction == taken
+        if not correct:
+            self.mispredicts += 1
+        # Provider update
+        if provider >= 0:
+            entry = self._tables[provider][indices[provider]]
+            if taken:
+                entry.counter = min(entry.counter + 1, 3)
+            else:
+                entry.counter = max(entry.counter - 1, -4)
+            if correct:
+                entry.useful = min(entry.useful + 1, 3)
+        else:
+            index = pc & self._bimodal_mask
+            counter = self._bimodal[index]
+            if taken:
+                self._bimodal[index] = min(counter + 1, 3)
+            else:
+                self._bimodal[index] = max(counter - 1, 0)
+        # Allocation in a longer-history table on mispredict
+        if not correct and provider < len(self._tables) - 1:
+            for table_num in range(provider + 1, len(self._tables)):
+                entry = self._tables[table_num][indices[table_num]]
+                if entry.useful == 0:
+                    entry.tag = tags[table_num]
+                    entry.counter = 0 if taken else -1
+                    break
+                entry.useful -= 1
+        # History update
+        self._ghist = ((self._ghist << 1) | (1 if taken else 0)) & ((1 << 64) - 1)
+
+    @property
+    def mispredict_rate(self):
+        if self.lookups == 0:
+            return 0.0
+        return self.mispredicts / self.lookups

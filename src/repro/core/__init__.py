@@ -1,0 +1,41 @@
+"""Decoupled Vector Runahead -- the paper's contribution.
+
+Contains the stride detector (RPT), Discovery Mode (taint tracker,
+loop-bound detector, innermost-stride selection), the VRAT, the in-order
+SIMT vector-runahead subthread with its VIR issue discipline and
+reconvergence stack, Nested Discovery Mode, and the engine that wires it
+all into the out-of-order core.
+"""
+
+from .discovery import DiscoveryMode, DiscoveryResult
+from .dvr import DvrEngine
+from .hw_cost import hardware_budget, total_bytes
+from .loop_bounds import LoopBoundDetector, LoopBoundResult
+from .nested import NestedState
+from .reconvergence import ReconvergenceStack
+from .stride_detector import RptEntry, StrideDetector
+from .subthread import (FLOW_FIRST_LANE, FLOW_RECONVERGE, SubthreadStats,
+                        VectorSubthread)
+from .taint import TaintTracker
+from .vrat import Vrat, VratExhausted
+
+__all__ = [
+    "DiscoveryMode",
+    "DiscoveryResult",
+    "DvrEngine",
+    "FLOW_FIRST_LANE",
+    "FLOW_RECONVERGE",
+    "LoopBoundDetector",
+    "LoopBoundResult",
+    "NestedState",
+    "ReconvergenceStack",
+    "RptEntry",
+    "StrideDetector",
+    "SubthreadStats",
+    "TaintTracker",
+    "VectorSubthread",
+    "Vrat",
+    "VratExhausted",
+    "hardware_budget",
+    "total_bytes",
+]

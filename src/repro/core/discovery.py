@@ -1,0 +1,113 @@
+"""Discovery Mode (paper Section 4.1).
+
+Engaged when a confident striding load dispatches.  Discovery Mode then
+follows the main thread's execution through one iteration of the loop --
+until the striding load is dispatched again -- and meanwhile:
+
+* switches its target to a *more inner* striding load if one is seen
+  twice first (Section 4.1.1, the per-RPT-entry seen-bit register);
+* taint-tracks the striding load's dependence chain through the VTT and
+  records the last dependent load in the FLR (Section 4.1.2);
+* identifies the loop's compare + backward branch via the LCR/SBB and
+  checkpoints the register file to infer the loop bound (Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+from .loop_bounds import LoopBoundDetector
+from .taint import TaintTracker
+
+
+class DiscoveryResult:
+    """Everything the vector-runahead subthread needs to spawn."""
+
+    __slots__ = ("stride_pc", "stride", "flr_pc", "has_dependent_load",
+                 "loop_bound", "terminate_at_stride", "chain_pcs",
+                 "remaining")
+
+    def __init__(self, stride_pc, stride, flr_pc, has_dependent_load,
+                 loop_bound, terminate_at_stride, chain_pcs):
+        self.stride_pc = stride_pc
+        self.stride = stride
+        self.flr_pc = flr_pc
+        self.has_dependent_load = has_dependent_load
+        self.loop_bound = loop_bound
+        self.terminate_at_stride = terminate_at_stride
+        self.chain_pcs = chain_pcs
+        self.remaining = 0  # filled in at spawn time
+
+
+class DiscoveryMode:
+    def __init__(self, dvr_config, detector, target_pc, seed_reg, entry_regs):
+        self.config = dvr_config
+        self.detector = detector
+        self.target_pc = target_pc
+        self.taint = TaintTracker()
+        self.taint.reset(seed_reg)
+        self.loop = LoopBoundDetector()
+        self.loop.checkpoint_entry(entry_regs)
+        self._seen = set()       # striding-load PCs seen once already
+        self.switches = 0        # innermost-target switches
+        self.observed = 0
+        # Safety valve: a "loop" iteration that runs away means the trigger
+        # was not really a loop; give up after this many instructions.
+        self.budget = 4 * dvr_config.subthread_timeout
+
+    def observe(self, dyn, core):
+        """Feed one dispatched main-thread instruction.
+
+        Returns a :class:`DiscoveryResult` when Discovery Mode exits
+        (striding load reached again), the string ``"abort"`` when the
+        budget is exhausted, or None while still discovering.
+        """
+        ins = dyn.ins
+        self.observed += 1
+        if self.observed > self.budget:
+            return "abort"
+
+        if ins.is_load:
+            if ins.pc == self.target_pc:
+                return self._finish(core)
+            if self.detector.is_confident(ins.pc):
+                if ins.pc in self._seen:
+                    self._switch_target(ins, core)
+                else:
+                    self._seen.add(ins.pc)
+
+        tainted = self.taint.observe(ins)
+        if tainted and ins.is_load:
+            self.loop.on_flr_update()
+        if ins.is_compare:
+            self.loop.observe_compare(ins)
+        elif ins.is_cond_branch:
+            self.loop.observe_branch(ins, self.target_pc)
+        return None
+
+    def _switch_target(self, ins, core):
+        """A striding load seen twice before the target re-appeared: it is
+        more inner, so restart Discovery Mode on it (Section 4.1.1)."""
+        self.switches += 1
+        self.target_pc = ins.pc
+        self.taint.reset(ins.rd)
+        self.loop = LoopBoundDetector()
+        self.loop.checkpoint_entry(core.regs)
+        self._seen.clear()
+
+    def _finish(self, core):
+        bound = self.loop.finalize(core.regs)
+        entry = self.detector.get(self.target_pc)
+        stride = entry.stride if entry is not None else 0
+        flr_pc = self.taint.flr_pc
+        # Footnote 1: if other branches were seen between the FLR and the
+        # LCR, ignore the FLR and run each lane to the next stride PC so
+        # divergent paths are fully explored.
+        terminate_at_stride = self.loop.other_branch_seen or flr_pc < 0
+        return DiscoveryResult(
+            stride_pc=self.target_pc,
+            stride=stride,
+            flr_pc=flr_pc,
+            has_dependent_load=self.taint.has_dependent_load,
+            loop_bound=bound,
+            terminate_at_stride=terminate_at_stride,
+            chain_pcs=tuple(self.taint.chain_pcs),
+        )

@@ -1,0 +1,165 @@
+"""The Decoupled Vector Runahead engine (paper Section 4).
+
+Orchestrates the pieces: the stride detector watches every main-thread
+load; a confident striding load engages Discovery Mode, which follows the
+main thread through one loop iteration; when the main thread reaches the
+striding load again, the decoupled in-order vector-runahead subthread is
+spawned (possibly in Nested Discovery Mode for short inner loops) and
+executes concurrently using spare issue slots.  It never blocks the main
+thread's dispatch or commit -- that is the decoupling.
+
+Ablation switches (``discovery_enabled``, ``nested_enabled``) implement
+Fig 8's "Offload" and "+Discovery Mode" configurations: with discovery
+off, a subthread is spawned directly at any confident striding load with
+the full 128 lanes, VR-style first-lane control flow, and termination at
+the next stride-PC occurrence.
+"""
+
+from __future__ import annotations
+
+from ..memsys.cache import SRC_DVR
+from .discovery import DiscoveryMode
+from .nested import NestedState
+from .stride_detector import StrideDetector
+from .subthread import (FLOW_FIRST_LANE, FLOW_RECONVERGE, SubthreadStats,
+                        VectorSubthread)
+
+
+class DvrEngine:
+    name = "dvr"
+
+    def __init__(self, sim_config, program, guest_memory, hierarchy):
+        self.config = sim_config.dvr
+        self.detector = StrideDetector(self.config)
+        self.subthread_stats = SubthreadStats()
+        flow = (FLOW_RECONVERGE if self.config.discovery_enabled
+                else FLOW_FIRST_LANE)
+        self.subthread = VectorSubthread(
+            program, guest_memory, hierarchy, sim_config.core, self.config,
+            source=SRC_DVR, flow=flow, stats=self.subthread_stats)
+        self.subthread.done = True
+        self._discovery = None
+        self._pending = None        # DiscoveryResult armed for spawn
+        # Engine-level statistics
+        self.discoveries_started = 0
+        self.discoveries_completed = 0
+        self.discoveries_aborted = 0
+        self.no_dependent_chain = 0
+        self.spawns = 0
+        self.nested_spawns = 0
+
+    # ------------------------------------------------------------------
+    # Core hooks
+    # ------------------------------------------------------------------
+    def on_dispatch(self, dyn, core):
+        ins = dyn.ins
+        if ins.is_load:
+            self.detector.observe(ins.pc, dyn.mem_addr)
+
+        if self._discovery is not None:
+            result = self._discovery.observe(dyn, core)
+            if result == "abort":
+                self._discovery = None
+                self.discoveries_aborted += 1
+            elif result is not None:
+                self._discovery = None
+                self.discoveries_completed += 1
+                if result.has_dependent_load:
+                    self._pending = result
+                else:
+                    # Just a stride: the L1-D stride prefetcher covers it.
+                    self.no_dependent_chain += 1
+            return
+
+        if not self.subthread.done:
+            return
+
+        if self._pending is not None:
+            if ins.is_load and ins.pc == self._pending.stride_pc:
+                self._spawn(self._pending, dyn, core)
+                self._pending = None
+            return
+
+        if ins.is_load and self.detector.is_confident(ins.pc):
+            if self.config.discovery_enabled:
+                self._discovery = DiscoveryMode(
+                    self.config, self.detector, ins.pc, ins.rd,
+                    list(core.regs))
+                self.discoveries_started += 1
+            else:
+                self._spawn_offload(ins, dyn, core)
+
+    def on_rob_stall(self, now, head):
+        pass  # DVR is decoupled from full-ROB stalls.
+
+    def tick(self, now, ports):
+        if not self.subthread.done:
+            self.subthread.step(now, ports)
+
+    def blocks_dispatch(self, now):
+        return False
+
+    def blocks_commit(self, now):
+        return False
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _spawn(self, result, dyn, core):
+        entry = self.detector.get(result.stride_pc)
+        stride = entry.stride if entry is not None else result.stride
+        if stride == 0:
+            return
+        cap = self.config.max_lanes
+        remaining = result.loop_bound.remaining_iterations(core.regs, cap)
+        result.remaining = remaining
+        if remaining <= 0:
+            return
+        if (self.config.nested_enabled and result.loop_bound.found
+                and remaining < self.config.ndm_threshold
+                and result.loop_bound.branch_pc >= 0):
+            nested = NestedState(self.config, self.detector, result,
+                                 inner_last_addr=dyn.mem_addr)
+            if self.subthread.spawn_nested(nested, core.regs):
+                self.nested_spawns += 1
+                self.spawns += 1
+            return
+        if self.subthread.spawn(result.stride_pc, stride, dyn.mem_addr,
+                                core.regs, remaining,
+                                flr_pc=result.flr_pc,
+                                terminate_at_stride=result.terminate_at_stride):
+            self.spawns += 1
+
+    def _spawn_offload(self, ins, dyn, core):
+        """Fig 8 "Offload" ablation: no Discovery Mode -- vectorize 128
+        lanes straight from the striding load, VR-style."""
+        entry = self.detector.get(ins.pc)
+        if entry is None or entry.stride == 0:
+            return
+        if self.subthread.spawn(ins.pc, entry.stride, dyn.mem_addr,
+                                core.regs, self.config.max_lanes,
+                                flr_pc=-1, terminate_at_stride=True):
+            self.spawns += 1
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        sub = self.subthread_stats
+        return {
+            "dvr_discoveries_started": self.discoveries_started,
+            "dvr_discoveries_completed": self.discoveries_completed,
+            "dvr_discoveries_aborted": self.discoveries_aborted,
+            "dvr_no_dependent_chain": self.no_dependent_chain,
+            "dvr_spawns": self.spawns,
+            "dvr_nested_spawns": self.nested_spawns,
+            "dvr_invocations": sub.invocations,
+            "dvr_instructions": sub.instructions,
+            "dvr_vector_instructions": sub.vector_instructions,
+            "dvr_lane_loads": sub.lane_loads_issued,
+            "dvr_lanes_spawned": sub.lanes_spawned,
+            "dvr_timeouts": sub.timeouts,
+            "dvr_divergences": sub.divergences,
+            "dvr_vrat_kills": sub.vrat_kills,
+            "dvr_ndm_entries": sub.ndm_entries,
+            "dvr_ndm_fallbacks": sub.ndm_fallbacks,
+            "dvr_ndm_inner_lanes": sub.ndm_inner_lanes,
+        }

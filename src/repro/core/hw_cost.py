@@ -1,0 +1,63 @@
+"""Hardware overhead accounting (paper Section 4.4).
+
+Reproduces the paper's bit-level budget for every DVR structure; with the
+default configuration the total is exactly the paper's 1139 bytes.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _bytes(bits):
+    return math.ceil(bits / 8)
+
+
+def hardware_budget(dvr_config, core_config):
+    """Return an ordered list of (structure, bits, bytes) tuples."""
+    copies = dvr_config.vector_copies
+    rows = []
+
+    # 32-entry stride detector: 48b PC + 48b prev addr + 16b stride +
+    # 2b saturating counter + 1b innermost, per entry.
+    entry_bits = 48 + 48 + 16 + 2 + 1
+    rows.append(("Stride detector (RPT)",
+                 dvr_config.stride_detector_entries * entry_bits))
+
+    # VRAT: 16 entries x 16 register ids x 9 bits (selects one of 128
+    # vector + 256 int physical registers).
+    regid_bits = math.ceil(math.log2(
+        core_config.phys_vec_regs + core_config.phys_int_regs))
+    rows.append(("VRAT", 16 * copies * regid_bits))
+
+    # VIR: 128b mask, 16b issued, 16b executed, 64b uop+imm,
+    # 9x16b dest, 10x16b src1, 10x16b src2.
+    rows.append(("VIR", dvr_config.max_lanes + copies + copies + 64 +
+                 9 * copies + 10 * copies + 10 * copies))
+
+    # Front-end buffer: 8 micro-ops x 8 bytes.
+    rows.append(("Front-end buffer", 8 * 64))
+
+    # Reconvergence stack: 8 x (48b PC + 128b mask), byte-padded per entry.
+    rows.append(("Reconvergence stack",
+                 dvr_config.reconvergence_depth * (_bytes(48 + 128) * 8)))
+
+    rows.append(("FLR", 48))
+    rows.append(("LCR", 16))
+
+    # Loop-bound detector: 2 checkpoints x 16 x 8b register-id mappings,
+    # plus the compare and branch registers -- 48 bytes total per paper.
+    rows.append(("Loop-bound detector", 2 * 16 * 8 + 2 * 64))
+
+    rows.append(("Taint tracker (VTT)", 16))
+    # The SBB (1 bit) and the NDM Increment Register (7 bits, max loop
+    # increment 128) pack into a single byte.
+    rows.append(("SBB + NDM IR", 1 + 7))
+    rows.append(("NDM ILR", 48))
+
+    return [(name, bits, _bytes(bits)) for name, bits in rows]
+
+
+def total_bytes(dvr_config, core_config):
+    return sum(nbytes for _, _, nbytes in
+               hardware_budget(dvr_config, core_config))

@@ -1,0 +1,103 @@
+"""Loop-bound detector (paper Section 4.1.3).
+
+During Discovery Mode we look for the loop's backward branch and the
+compare feeding it, using the Last-Compare Register (LCR) and Seen-Branch
+Bit (SBB) -- both zeroed whenever the Final-Load Register is updated.  Two
+architectural-register-file checkpoints (entry/exit of Discovery Mode)
+identify which compare input is the loop bound (constant) and which is the
+induction variable (changing); the induction delta is the loop increment.
+
+If inference fails the subthread falls back to the 128-element maximum
+(runahead is transient execution; heuristics only reduce over/underfetch).
+"""
+
+from __future__ import annotations
+
+
+class LoopBoundResult:
+    """What Discovery Mode learned about the innermost loop."""
+
+    __slots__ = ("found", "bound_reg", "induction_reg", "increment",
+                 "compare_pc", "branch_pc", "exclusive")
+
+    def __init__(self, found=False, bound_reg=-1, induction_reg=-1,
+                 increment=0, compare_pc=-1, branch_pc=-1, exclusive=True):
+        self.found = found
+        self.bound_reg = bound_reg
+        self.induction_reg = induction_reg
+        self.increment = increment
+        self.compare_pc = compare_pc
+        self.branch_pc = branch_pc
+        self.exclusive = exclusive  # cmplt-style (bound not executed)
+
+    def remaining_iterations(self, regs, cap):
+        """Iterations left, evaluated against current register values."""
+        if not self.found or self.increment == 0:
+            return cap
+        bound = regs[self.bound_reg]
+        current = regs[self.induction_reg]
+        if self.increment > 0:
+            remaining = (bound - current + self.increment - 1) // self.increment
+        else:
+            remaining = (current - bound + (-self.increment) - 1) // (-self.increment)
+        if remaining < 0:
+            return 0
+        return min(remaining, cap)
+
+
+class LoopBoundDetector:
+    def __init__(self):
+        self.lcr_srcs = ()     # source register IDs of the candidate compare
+        self.lcr_dest = -1
+        self.lcr_pc = -1
+        self.sbb = False       # Seen-Branch Bit
+        self.branch_pc = -1
+        self._entry_regs = None
+        self.other_branch_seen = False  # branches between FLR and LCR
+
+    def checkpoint_entry(self, regs):
+        self._entry_regs = list(regs)
+
+    def on_flr_update(self):
+        """FLR changed: restart compare/branch identification."""
+        self.lcr_srcs = ()
+        self.lcr_dest = -1
+        self.lcr_pc = -1
+        self.sbb = False
+        self.branch_pc = -1
+
+    def observe_compare(self, ins):
+        if not self.sbb:
+            self.lcr_srcs = ins.srcs
+            self.lcr_dest = ins.rd
+            self.lcr_pc = ins.pc
+
+    def observe_branch(self, ins, stride_pc):
+        """A conditional branch dispatched during Discovery Mode."""
+        backward_into_loop = ins.target >= 0 and ins.target <= stride_pc
+        if (not self.sbb and ins.rs1 == self.lcr_dest
+                and self.lcr_dest >= 0 and backward_into_loop):
+            self.sbb = True
+            self.branch_pc = ins.pc
+        elif not self.sbb:
+            # Some other branch between the FLR and the loop branch: note it
+            # (the footnote's divergence-exploration rule keys off this).
+            self.other_branch_seen = True
+
+    def finalize(self, exit_regs):
+        """At Discovery Mode exit: classify the compare inputs."""
+        if not self.sbb or self._entry_regs is None or len(self.lcr_srcs) < 2:
+            return LoopBoundResult(found=False)
+        reg_a, reg_b = self.lcr_srcs[0], self.lcr_srcs[1]
+        delta_a = exit_regs[reg_a] - self._entry_regs[reg_a]
+        delta_b = exit_regs[reg_b] - self._entry_regs[reg_b]
+        if delta_a == 0 and delta_b != 0:
+            bound_reg, induction_reg, increment = reg_a, reg_b, delta_b
+        elif delta_b == 0 and delta_a != 0:
+            bound_reg, induction_reg, increment = reg_b, reg_a, delta_a
+        else:
+            return LoopBoundResult(found=False)
+        return LoopBoundResult(found=True, bound_reg=bound_reg,
+                               induction_reg=induction_reg,
+                               increment=increment, compare_pc=self.lcr_pc,
+                               branch_pc=self.branch_pc)

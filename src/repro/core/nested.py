@@ -1,0 +1,91 @@
+"""Nested Discovery Mode (paper Section 4.3).
+
+When Discovery Mode finds fewer than 64 upcoming iterations of the inner
+loop, the spawned subthread does not vectorize immediately.  Instead it:
+
+1. starts on the *not-taken* path of the loop's backward branch (skipping
+   the remaining inner-loop iterations) and executes scalar operations;
+2. when it finds an **outer striding load** (a confident RPT entry whose
+   PC is smaller than the Inner Load Register), vectorizes it by 16 and
+   follows its dependents as 16-lane vector code;
+3. on reaching the inner striding load, reads the vectorized LCR source
+   registers and the Increment Register to compute each outer lane's
+   number of inner-loop invocations, collects up to 128 inner striding
+   addresses, and expands vectorization to cover all of them;
+4. if no outer striding load appears within 200 instructions, falls back
+   to vectorizing the inner load by the originally discovered loop bound.
+
+The state machine lives here; the subthread calls its hooks.
+"""
+
+from __future__ import annotations
+
+
+class NestedState:
+    PHASE_SCAN = "scan"        # scalar execution, hunting the outer stride
+    PHASE_VECTOR = "vector"    # 16 outer lanes, heading to the inner load
+
+    def __init__(self, dvr_config, stride_detector, discovery,
+                 inner_last_addr):
+        self.config = dvr_config
+        self.detector = stride_detector
+        # Inner-loop facts from Discovery Mode:
+        self.inner_stride_pc = discovery.stride_pc   # ILR (inner load)
+        self.inner_stride = discovery.stride         # inner stride
+        self.inner_last_addr = inner_last_addr       # its address at spawn
+        self.increment = discovery.loop_bound.increment or 1  # IR
+        self.bound = discovery.loop_bound            # LCR registers
+        self.flr_pc = discovery.flr_pc
+        self.terminate_at_stride = discovery.terminate_at_stride
+        self.fallback_lanes = discovery.remaining    # loop-bound fallback
+        self.phase = self.PHASE_SCAN
+        self.scanned = 0
+        self.outer_pc = -1
+
+    def budget_exceeded(self):
+        self.scanned += 1
+        return self.scanned > self.config.ndm_scan_limit
+
+    def outer_stride_entry(self, pc):
+        """Is the load at ``pc`` the outer striding load we are after?
+
+        The paper's test: a confident striding load whose address (PC) is
+        smaller than the inner striding load's (ILR) -- i.e. from an
+        enclosing loop.
+        """
+        if self.phase != self.PHASE_SCAN or pc == self.inner_stride_pc:
+            return None
+        if pc >= self.inner_stride_pc:
+            return None
+        entry = self.detector.get(pc)
+        if (entry is not None and entry.stride != 0 and
+                entry.confidence >= self.detector.threshold):
+            return entry
+        return None
+
+    def on_outer_vectorized(self, pc):
+        self.phase = self.PHASE_VECTOR
+        self.outer_pc = pc
+
+    def on_vector_load(self, ins, subthread):
+        """Hook after any vector gather completes issue (unused for now;
+        kept for symmetry/extension)."""
+
+    def inner_iterations(self, subthread, lane):
+        """Inner-loop invocation count for one outer lane, from the
+        vectorized LCR registers and the Increment Register."""
+        bound = self.bound
+        if not bound.found or self.increment == 0:
+            return 0
+        bound_val = subthread._value(bound.bound_reg, lane)
+        start_val = subthread._value(bound.induction_reg, lane)
+        from .subthread import _INVALID
+        if bound_val is _INVALID or start_val is _INVALID:
+            return 0
+        if self.increment > 0:
+            iters = (bound_val - start_val + self.increment - 1) // self.increment
+        else:
+            iters = (start_val - bound_val + (-self.increment) - 1) // (-self.increment)
+        if iters < 0:
+            return 0
+        return min(iters, self.config.max_lanes)

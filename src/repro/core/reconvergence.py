@@ -1,0 +1,36 @@
+"""GPU-style reconvergence stack (paper Section 4.2.3, Fig 6).
+
+Each entry stores a PC and a lane mask.  On branch divergence the lanes
+are split by their next PC; one group continues, the others are pushed.
+The reconvergence point is the subthread termination point, so when the
+running group terminates we pop the stack and resume the next group.
+An 8-entry stack; overflowing groups are dropped (their lanes masked off).
+"""
+
+from __future__ import annotations
+
+
+class ReconvergenceStack:
+    def __init__(self, depth):
+        self.depth = depth
+        self._stack = []  # list of (pc, lane index tuple)
+        self.pushes = 0
+        self.overflows = 0
+
+    def push(self, pc, lanes):
+        if len(self._stack) >= self.depth:
+            self.overflows += 1
+            return False
+        self._stack.append((pc, tuple(lanes)))
+        self.pushes += 1
+        return True
+
+    def pop(self):
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self):
+        return len(self._stack)
+
+    @property
+    def empty(self):
+        return not self._stack

@@ -1,0 +1,64 @@
+"""Stride detector / Reference Prediction Table (paper Section 4.1.1).
+
+A 32-entry RPT tracking load PCs, their last addresses, stride and a 2-bit
+saturating confidence counter, plus the "innermost" bit used by Discovery
+Mode's innermost-striding-load selection.  The detector observes loads
+from the dispatch/execute stages of the main pipeline (Fig 3).
+"""
+
+from __future__ import annotations
+
+
+class RptEntry:
+    __slots__ = ("pc", "last_addr", "stride", "confidence", "innermost")
+
+    def __init__(self, pc, addr):
+        self.pc = pc
+        self.last_addr = addr
+        self.stride = 0
+        self.confidence = 0   # 2-bit saturating counter
+        self.innermost = False
+
+
+class StrideDetector:
+    def __init__(self, config):
+        self.entries = config.stride_detector_entries
+        self.threshold = config.stride_confidence
+        self._table = {}  # pc -> RptEntry (dict order approximates LRU)
+
+    def observe(self, pc, addr):
+        """Train on a load; returns the entry (confident or not)."""
+        table = self._table
+        entry = table.get(pc)
+        if entry is None:
+            if len(table) >= self.entries:
+                del table[next(iter(table))]
+            entry = RptEntry(pc, addr)
+            table[pc] = entry
+            return entry
+        del table[pc]
+        table[pc] = entry  # LRU refresh
+        stride = addr - entry.last_addr
+        if stride == entry.stride and stride != 0:
+            if entry.confidence < 3:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 1 if stride != 0 else 0
+        entry.last_addr = addr
+        return entry
+
+    def get(self, pc):
+        return self._table.get(pc)
+
+    def is_confident(self, pc):
+        entry = self._table.get(pc)
+        return (entry is not None and entry.stride != 0 and
+                entry.confidence >= self.threshold)
+
+    def confident_entries(self):
+        return [entry for entry in self._table.values()
+                if entry.stride != 0 and entry.confidence >= self.threshold]
+
+    def __len__(self):
+        return len(self._table)

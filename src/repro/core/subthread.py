@@ -1,0 +1,723 @@
+"""The decoupled vector-runahead subthread (paper Sections 4.2 and 4.3).
+
+An in-order, speculative, SIMT interpreter over the guest program.  It is
+spawned at a striding load, vectorizes that load across up to 128 future
+loop iterations (``max_lanes``), and follows the dependent instruction
+chain with per-lane register values, issuing every lane's loads to the
+memory hierarchy as prefetches.
+
+Structure mirrors the paper's hardware:
+
+* the **VRAT** (:class:`~repro.core.vrat.Vrat`) maps each architectural
+  register to a shared scalar physical register or to 16 vector physical
+  registers; exhaustion kills the invocation;
+* the **VIR** discipline: one instruction is in flight at a time; its 16
+  vector copies (8 lanes each) issue over spare issue slots -- possibly
+  across several cycles -- and the next instruction is fetched only when
+  all copies have issued and executed;
+* the **reconvergence stack** splits lanes on divergent branches and
+  resumes deferred groups when the running group terminates;
+* termination at the Final-Load-Register PC, at the next occurrence of
+  the striding load (when divergent paths must be explored), or after a
+  200-instruction timeout.
+
+The same machinery, parameterized, also implements Vector Runahead's
+vectorized chain following (first-lane control flow, no loop bounds) and
+DVR's Nested Discovery Mode (scalar scan on the not-taken path, outer
+striding load vectorized by 16, inner-loop expansion to 128 lanes).
+
+Instruction lifecycle (phases)::
+
+    fetch -> exec_issue -> (wait) -> fetch          ALU / branches
+    fetch -> mem_issue  ->  wait  -> fetch          loads (scalar & gather)
+
+``fetch`` classifies the instruction exactly once (termination checks,
+timeout accounting); the issue phases then consume spare issue slots
+across as many cycles as needed, so a 16-copy vector op on a 5-wide core
+takes several cycles to issue, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import NUM_REGS, Op, hash64, to_signed64
+from ..uarch.dynins import FU_ALU, FU_MEM, fu_class
+from .reconvergence import ReconvergenceStack
+from .vrat import Vrat, VratExhausted
+
+# Control-flow handling across lanes
+FLOW_RECONVERGE = "reconverge"   # DVR: GPU-style divergence/reconvergence
+FLOW_FIRST_LANE = "first-lane"   # VR: follow lane 0, invalidate divergers
+
+_INVALID = object()  # sentinel for lanes with no defined value
+
+
+def _alu_value(ins, a, b):
+    """Compute an ALU/compare result from operand values (timing-free)."""
+    op = ins.op
+    if op == Op.ADD:
+        return a + b
+    if op == Op.ADDI:
+        return a + ins.imm
+    if op == Op.SUB:
+        return a - b
+    if op == Op.MUL:
+        return to_signed64(a * b)
+    if op == Op.MULI:
+        return to_signed64(a * ins.imm)
+    if op == Op.DIV:
+        return 0 if b == 0 else a // b
+    if op == Op.AND:
+        return a & b
+    if op == Op.ANDI:
+        return a & ins.imm
+    if op == Op.OR:
+        return a | b
+    if op == Op.XOR:
+        return a ^ b
+    if op == Op.SHL:
+        return to_signed64(a << (b & 63))
+    if op == Op.SHLI:
+        return to_signed64(a << (ins.imm & 63))
+    if op == Op.SHR:
+        return (a & ((1 << 64) - 1)) >> (b & 63)
+    if op == Op.SHRI:
+        return (a & ((1 << 64) - 1)) >> (ins.imm & 63)
+    if op == Op.CMPLT:
+        return 1 if a < b else 0
+    if op == Op.CMPLE:
+        return 1 if a <= b else 0
+    if op == Op.CMPEQ:
+        return 1 if a == b else 0
+    if op == Op.CMPNE:
+        return 1 if a != b else 0
+    if op == Op.CMPLTI:
+        return 1 if a < ins.imm else 0
+    if op == Op.CMPEQI:
+        return 1 if a == ins.imm else 0
+    if op == Op.LI:
+        return ins.imm
+    if op == Op.MOV:
+        return a
+    if op == Op.HASH:
+        return hash64(a)
+    raise ValueError(f"not an ALU op: {ins}")
+
+
+def _safe_alu(ins, a, b):
+    try:
+        return _alu_value(ins, a, b)
+    except (ValueError, ZeroDivisionError):  # pragma: no cover - defensive
+        return 0
+
+
+class SubthreadStats:
+    def __init__(self):
+        self.invocations = 0
+        self.instructions = 0
+        self.vector_instructions = 0
+        self.lane_loads_issued = 0
+        self.timeouts = 0
+        self.vrat_kills = 0
+        self.divergences = 0
+        self.lanes_spawned = 0
+        self.ndm_entries = 0
+        self.ndm_fallbacks = 0
+        self.ndm_inner_lanes = 0
+
+
+class VectorSubthread:
+    """One invocation of the vector-runahead subthread."""
+
+    def __init__(self, program, guest_memory, hierarchy, core_config,
+                 dvr_config, source, flow=FLOW_RECONVERGE, stats=None):
+        self.program = program
+        self.mem = guest_memory
+        self.hierarchy = hierarchy
+        self.config = dvr_config
+        self.source = source            # cache-line provenance tag
+        self.flow = flow
+        self.stats = stats or SubthreadStats()
+        self.core_config = core_config
+        self.vector_width = dvr_config.vector_width
+
+        self.vrat = Vrat(core_config, dvr_config)
+        self.reconv = ReconvergenceStack(dvr_config.reconvergence_depth)
+
+        self.active = []                # active lane ids
+        self.svals = [0] * NUM_REGS     # scalar register values
+        self.vvals = [None] * NUM_REGS  # per-lane values for vector regs
+        self.is_vec = [False] * NUM_REGS
+
+        self.pc = -1
+        self.done = True
+        self.executed = 0               # instructions this invocation
+        self.flr_pc = -1
+        self.stride_pc = -1
+        self.stride = 0
+        self._stride_base = 0
+        self.terminate_at_stride = False
+        self._spawn_regs = [0] * NUM_REGS
+        self._nested = None             # NestedState while in NDM
+
+        self._phase = "fetch"           # fetch | exec_issue | mem_issue | wait
+        self._wait_until = 0
+        self._cur_ins = None
+        self._cost_left = 0
+        self._cur_fu = FU_ALU
+        self._mem_pending = []          # (lane, addr) still to issue
+        self._mem_done = {}             # lane -> loaded value
+        self._mem_max_complete = 0
+        self._mem_is_vector = False
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def spawn(self, stride_pc, stride, last_addr, main_regs, num_lanes,
+              flr_pc=-1, terminate_at_stride=False):
+        """Start a regular (non-nested) invocation at the striding load.
+
+        Lane ``k`` represents loop iteration ``k+1`` into the future: its
+        striding-load address is ``last_addr + stride * (k + 1)``.
+        """
+        self.stats.invocations += 1
+        self.stats.lanes_spawned += num_lanes
+        if not self._init_context(main_regs):
+            return False
+        self.active = list(range(num_lanes))
+        self.pc = stride_pc
+        self.stride_pc = stride_pc
+        self.stride = stride
+        self._stride_base = last_addr
+        self.flr_pc = flr_pc
+        self.terminate_at_stride = terminate_at_stride or flr_pc < 0
+        self.done = num_lanes == 0
+        self._nested = None
+        return not self.done
+
+    def spawn_nested(self, nested_state, main_regs):
+        """Start in Nested Discovery Mode (paper Section 4.3.1): execution
+        begins on the not-taken path of the inner loop's backward branch,
+        skipping its remaining iterations, and proceeds scalar until an
+        outer striding load is found."""
+        self.stats.invocations += 1
+        self.stats.ndm_entries += 1
+        if not self._init_context(main_regs):
+            return False
+        self.active = [0]  # scalar phase: a single lane
+        self._nested = nested_state
+        self.pc = nested_state.bound.branch_pc + 1  # not-taken path
+        self.stride_pc = nested_state.inner_stride_pc
+        self.stride = nested_state.inner_stride
+        self._stride_base = nested_state.inner_last_addr
+        self.flr_pc = nested_state.flr_pc
+        self.terminate_at_stride = nested_state.terminate_at_stride
+        self.done = False
+        return True
+
+    def _init_context(self, main_regs):
+        try:
+            self.vrat.initialize_from_main()
+        except VratExhausted:
+            self.stats.vrat_kills += 1
+            self.done = True
+            return False
+        self.svals = list(main_regs)
+        self._spawn_regs = list(main_regs)
+        self.vvals = [None] * NUM_REGS
+        self.is_vec = [False] * NUM_REGS
+        while not self.reconv.empty:
+            self.reconv.pop()
+        self.executed = 0
+        self._phase = "fetch"
+        self._wait_until = 0
+        self._cur_ins = None
+        self._mem_pending = []
+        self._mem_done = {}
+        return True
+
+    # ------------------------------------------------------------------
+    # Nested Discovery Mode transitions
+    # ------------------------------------------------------------------
+    def _ndm_fallback(self):
+        """No outer striding load found: vectorize the inner load by the
+        loop bound discovered originally (paper Section 4.3.1, last rule)."""
+        nested = self._nested
+        self._nested = None
+        self.stats.ndm_fallbacks += 1
+        self.vrat.release_all()
+        lanes = max(1, nested.fallback_lanes)
+        spawn_regs = self._spawn_regs
+        self.stats.invocations -= 1  # the re-spawn below recounts it
+        self.spawn(nested.inner_stride_pc, nested.inner_stride,
+                   nested.inner_last_addr, spawn_regs, lanes,
+                   flr_pc=nested.flr_pc,
+                   terminate_at_stride=nested.terminate_at_stride)
+
+    def _ndm_expand(self, ins):
+        """Reached the inner striding load with 16 vectorized outer lanes:
+        compute per-outer-lane inner-loop bounds and expand vectorization
+        to up to 128 inner lanes (paper Section 4.3.2)."""
+        nested = self._nested
+        specs = []  # (owner outer lane, inner address)
+        cap = self.config.max_lanes
+        for lane in self.active:
+            iters = nested.inner_iterations(self, lane)
+            if iters <= 0:
+                continue
+            base = self._value(ins.rs1, lane)
+            if base is _INVALID:
+                continue
+            if ins.op == Op.LOADX:
+                index = self._value(ins.rs2, lane)
+                if index is _INVALID:
+                    continue
+                addr = base + index * ins.imm
+            else:
+                addr = base + ins.imm
+            for k in range(iters):
+                specs.append((lane, addr + nested.inner_stride * k))
+                if len(specs) >= cap:
+                    break
+            if len(specs) >= cap:
+                break
+        if not specs:
+            self._ndm_fallback()
+            return
+        # Re-map vector registers: inner lane i inherits its outer lane's
+        # values; untainted registers stay scalar.
+        for reg in range(NUM_REGS):
+            if self.is_vec[reg]:
+                old = self.vvals[reg]
+                self.vvals[reg] = {
+                    i: old[owner] for i, (owner, _) in enumerate(specs)
+                    if owner in old}
+        self.active = list(range(len(specs)))
+        self.stats.ndm_inner_lanes += len(specs)
+        # Deferred divergent groups refer to outer lane ids; drop them.
+        while not self.reconv.empty:
+            self.reconv.pop()
+        self._nested = None
+        self.executed = 1
+        self.stats.vector_instructions += 1
+        self._cur_ins = ins
+        self._mem_pending = [(i, addr) for i, (_, addr) in enumerate(specs)
+                             if 0 <= addr < self.mem.size_bytes]
+        self._mem_done = {}
+        self._mem_max_complete = 0
+        self._mem_is_vector = True
+        self._phase = "mem_issue"
+
+    # ------------------------------------------------------------------
+    # Per-cycle stepping
+    # ------------------------------------------------------------------
+    def step(self, now, ports):
+        """Advance the subthread using spare issue slots at cycle ``now``."""
+        guard = 0
+        while not self.done and guard < 64:
+            guard += 1
+            phase = self._phase
+            if phase == "wait":
+                if now < self._wait_until:
+                    return
+                self._phase = "fetch"
+            elif phase == "fetch":
+                self._fetch()
+            elif phase == "exec_issue":
+                if not self._exec_issue(now, ports):
+                    return
+            elif phase == "mem_issue":
+                if not self._mem_issue(now, ports):
+                    return
+
+    # ------------------------------------------------------------------
+    # Fetch: classify one instruction (exactly once)
+    # ------------------------------------------------------------------
+    def _fetch(self):
+        if self.executed >= self.config.subthread_timeout:
+            self.stats.timeouts += 1
+            self._group_done(timeout=True)
+            return
+        ins = self.program.instructions[self.pc]
+        self.executed += 1
+        self.stats.instructions += 1
+
+        if self._nested is not None:
+            if self._nested.budget_exceeded():
+                self._ndm_fallback()
+                return
+            if self.pc == self._nested.inner_stride_pc:
+                if self._nested.phase == self._nested.PHASE_VECTOR:
+                    self._ndm_expand(ins)
+                else:
+                    # Looped back to the inner load without finding an
+                    # outer striding load.
+                    self._ndm_fallback()
+                return
+
+        # Termination point: the next iteration of the striding load.
+        if (self.pc == self.stride_pc and self.executed > 1
+                and self._nested is None):
+            self._group_done()
+            return
+
+        op = ins.op
+        if op == Op.HALT:
+            self._group_done()
+            return
+        if op == Op.JMP:
+            self.pc = ins.target
+            return
+        if op == Op.NOP:
+            self.pc += 1
+            return
+        if ins.is_store:
+            # Runahead never commits stores; drop them.
+            self.pc += 1
+            return
+        if ins.is_load:
+            self._classify_load(ins)
+            return
+        # ALU / compare / conditional branch: issue over spare slots.
+        self._cur_ins = ins
+        self._cur_fu = FU_ALU if ins.is_cond_branch else fu_class(op)
+        if self._vectorized(ins):
+            self._cost_left = self._vector_cost()
+            self.stats.vector_instructions += 1
+        else:
+            self._cost_left = 1
+        self._phase = "exec_issue"
+
+    def _vectorized(self, ins):
+        if ins.is_cond_branch:
+            return self.is_vec[ins.rs1]
+        for reg in ins.srcs:
+            if self.is_vec[reg]:
+                return True
+        return False
+
+    def _vector_cost(self):
+        """Issue slots for one vector instruction: one per AVX-512-style
+        copy of ``vector_width`` lanes."""
+        return max(1, -(-len(self.active) // self.vector_width))
+
+    # ------------------------------------------------------------------
+    # Execution-issue phase (ALU ops and branches)
+    # ------------------------------------------------------------------
+    def _exec_issue(self, now, ports):
+        """Claim slots; when fully issued, perform the operation.  Returns
+        False when out of slots this cycle."""
+        fu = self._cur_fu
+        while self._cost_left > 0:
+            if not ports.can_issue(fu):
+                return False
+            ports.claim(fu)
+            self._cost_left -= 1
+        ins = self._cur_ins
+        self._cur_ins = None
+        if ins.is_cond_branch:
+            self._do_branch(ins)
+            return True
+        self._do_alu(ins, now, ports)
+        return True
+
+    def _do_alu(self, ins, now, ports):
+        if not self._vectorized(ins):
+            src_a = self.svals[ins.srcs[0]] if ins.srcs else 0
+            src_b = self.svals[ins.srcs[1]] if len(ins.srcs) > 1 else 0
+            if ins.rd >= 0 and not self._write_scalar(
+                    ins.rd, _safe_alu(ins, src_a, src_b)):
+                return
+        else:
+            values = {}
+            dead = []
+            for lane in self.active:
+                src_a = self._value(ins.srcs[0], lane) if ins.srcs else 0
+                src_b = (self._value(ins.srcs[1], lane)
+                         if len(ins.srcs) > 1 else 0)
+                if src_a is _INVALID or src_b is _INVALID:
+                    dead.append(lane)
+                    continue
+                values[lane] = _safe_alu(ins, src_a, src_b)
+            if dead:
+                self._kill_lanes(dead)
+                if self.done or not self.active:
+                    return
+            if ins.rd >= 0 and not self._write_vector(ins.rd, values):
+                return
+        latency = ports.latency.get(self._cur_fu, 1)
+        self.pc += 1
+        if latency > 1:
+            self._wait_until = now + latency
+            self._phase = "wait"
+        else:
+            self._phase = "fetch"
+
+    def _do_branch(self, ins):
+        self._phase = "fetch"
+        reg = ins.rs1
+        if not self.is_vec[reg]:
+            value = self.svals[reg]
+            taken = (value != 0) if ins.op == Op.BNZ else (value == 0)
+            self.pc = ins.target if taken else self.pc + 1
+            return
+        taken_lanes, fall_lanes, dead = [], [], []
+        for lane in self.active:
+            value = self._value(reg, lane)
+            if value is _INVALID:
+                dead.append(lane)
+                continue
+            taken = (value != 0) if ins.op == Op.BNZ else (value == 0)
+            (taken_lanes if taken else fall_lanes).append(lane)
+        if dead:
+            self._kill_lanes(dead)
+            if self.done:
+                return
+        if not taken_lanes or not fall_lanes:
+            self.pc = ins.target if taken_lanes else self.pc + 1
+            return
+        # Divergence.
+        self.stats.divergences += 1
+        if self.flow == FLOW_FIRST_LANE:
+            # VR: follow the first lane's path; divergent lanes invalidated.
+            first = self.active[0]
+            if first in taken_lanes:
+                self.active, self.pc = taken_lanes, ins.target
+            else:
+                self.active, self.pc = fall_lanes, self.pc + 1
+            return
+        # DVR: split via the reconvergence stack; continue with the group
+        # containing the first (oldest) lane, defer the other.
+        first = self.active[0]
+        if first in taken_lanes:
+            run_lanes, run_pc = taken_lanes, ins.target
+            defer_lanes, defer_pc = fall_lanes, self.pc + 1
+        else:
+            run_lanes, run_pc = fall_lanes, self.pc + 1
+            defer_lanes, defer_pc = taken_lanes, ins.target
+        self.reconv.push(defer_pc, defer_lanes)
+        self.active = run_lanes
+        self.pc = run_pc
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+    def _classify_load(self, ins):
+        is_stride_load = (self.pc == self.stride_pc and
+                          self._nested is None and self.executed == 1)
+        if is_stride_load:
+            # The Vectorizer replaces the striding load with vectorized
+            # copies generated from its predicted stride.
+            addrs = [(lane, self._stride_base + self.stride * (lane + 1))
+                     for lane in self.active]
+        elif self._vectorized(ins):
+            addrs = []
+            dead = []
+            for lane in self.active:
+                base = self._value(ins.rs1, lane)
+                if base is _INVALID:
+                    dead.append(lane)
+                    continue
+                if ins.op == Op.LOADX:
+                    index = self._value(ins.rs2, lane)
+                    if index is _INVALID:
+                        dead.append(lane)
+                        continue
+                    addrs.append((lane, base + index * ins.imm))
+                else:
+                    addrs.append((lane, base + ins.imm))
+            if dead:
+                self._kill_lanes(dead)
+                if self.done:
+                    return
+        else:
+            nested = self._nested
+            if nested is not None:
+                entry = nested.outer_stride_entry(self.pc)
+                if entry is not None:
+                    # NDM found the outer striding load: vectorize by 16.
+                    lanes = self.config.ndm_outer_lanes
+                    self.active = list(range(lanes))
+                    nested.on_outer_vectorized(self.pc)
+                    addrs = [(lane, entry.last_addr + entry.stride * (lane + 1))
+                             for lane in range(lanes)]
+                    self._setup_gather(ins, addrs)
+                    return
+            base = self.svals[ins.rs1]
+            if ins.op == Op.LOADX:
+                addr = base + self.svals[ins.rs2] * ins.imm
+            else:
+                addr = base + ins.imm
+            if not 0 <= addr < self.mem.size_bytes:
+                self._group_done()
+                return
+            self._cur_ins = ins
+            self._mem_pending = [(self.active[0], addr)]
+            self._mem_done = {}
+            self._mem_max_complete = 0
+            self._mem_is_vector = False
+            self._phase = "mem_issue"
+            return
+        self._setup_gather(ins, addrs)
+
+    def _setup_gather(self, ins, addrs):
+        # Out-of-bounds lanes fault and are masked off.
+        dead = [lane for lane, addr in addrs
+                if not 0 <= addr < self.mem.size_bytes]
+        if dead:
+            self._kill_lanes(dead)
+            if self.done:
+                return
+            dead_set = set(dead)
+            addrs = [(lane, addr) for lane, addr in addrs
+                     if lane not in dead_set]
+        if not addrs:
+            self._group_done()
+            return
+        self.stats.vector_instructions += 1
+        self._cur_ins = ins
+        self._mem_pending = addrs
+        self._mem_done = {}
+        self._mem_max_complete = 0
+        self._mem_is_vector = True
+        self._phase = "mem_issue"
+
+    def _mem_issue(self, now, ports):
+        """Issue pending lane loads.  One mem-port slot covers one vector
+        copy (``vector_width`` lane accesses).  Returns False when out of
+        slots or MSHR-blocked (retry next cycle)."""
+        pending = self._mem_pending
+        width = self.vector_width
+        while pending:
+            if not ports.can_issue(FU_MEM):
+                return False
+            ports.claim(FU_MEM)
+            budget = width  # one copy's worth of lanes
+            while pending and budget > 0:
+                lane, addr = pending[-1]
+                result = self.hierarchy.runahead_load(addr, now, self.source)
+                if result is None:
+                    return False  # MSHR full; retry next cycle
+                pending.pop()
+                budget -= 1
+                self.stats.lane_loads_issued += 1
+                self._mem_done[lane] = self.mem.words[addr >> 3]
+                if result.complete_cycle > self._mem_max_complete:
+                    self._mem_max_complete = result.complete_cycle
+        # All lanes issued: write back, wait for the slowest fill.
+        ins = self._cur_ins
+        self._cur_ins = None
+        values = self._mem_done
+        self._mem_done = {}
+        if ins.rd >= 0:
+            if self._mem_is_vector:
+                if not self._write_vector(ins.rd, values):
+                    return True
+            else:
+                lane_value = next(iter(values.values()), 0)
+                if not self._write_scalar(ins.rd, lane_value):
+                    return True
+        self._wait_until = self._mem_max_complete
+        self._phase = "wait"
+        self.pc += 1
+        if self._nested is not None:
+            self._nested.on_vector_load(ins, self)
+        else:
+            self._check_flr(ins)
+        return True
+
+    def _check_flr(self, ins):
+        """Terminate the running group after the final indirect load
+        (identified by the FLR) has generated its prefetches."""
+        if (ins.pc == self.flr_pc and not self.terminate_at_stride
+                and self._nested is None):
+            self._group_done()
+
+    # ------------------------------------------------------------------
+    # Register writes (VRAT-mediated)
+    # ------------------------------------------------------------------
+    def _value(self, reg, lane):
+        if self.is_vec[reg]:
+            return self.vvals[reg].get(lane, _INVALID)
+        return self.svals[reg]
+
+    def _write_vector(self, reg, values):
+        try:
+            self.vrat.make_vector(reg)
+        except VratExhausted:
+            self.stats.vrat_kills += 1
+            self._terminate()
+            return False
+        self.is_vec[reg] = True
+        self.vvals[reg] = values
+        return True
+
+    def _write_scalar(self, reg, value):
+        if not self.reconv.empty:
+            # Paper Section 4.2.3, "divergence in scalar renaming": with
+            # deferred lane groups outstanding, a scalar write from the
+            # running group must not clobber the other groups' view -- the
+            # destination is converted to a vector register, the running
+            # group's lanes get the new value and deferred lanes keep what
+            # they had.
+            if self.is_vec[reg]:
+                values = dict(self.vvals[reg])
+            else:
+                old = self.svals[reg]
+                values = {lane: old for lane in self._all_lanes()}
+            for lane in self.active:
+                values[lane] = value
+            return self._write_vector(reg, values)
+        if self.is_vec[reg]:
+            try:
+                self.vrat.make_scalar(reg)
+            except VratExhausted:
+                self.stats.vrat_kills += 1
+                self._terminate()
+                return False
+            self.is_vec[reg] = False
+            self.vvals[reg] = None
+        self.svals[reg] = value
+        return True
+
+    def _all_lanes(self):
+        """Active lanes plus every lane deferred on the reconvergence
+        stack (the lanes that still have a future in this invocation)."""
+        lanes = list(self.active)
+        for _, group in self.reconv._stack:
+            lanes.extend(group)
+        return lanes
+
+    # ------------------------------------------------------------------
+    # Lane / group lifecycle
+    # ------------------------------------------------------------------
+    def _kill_lanes(self, lanes):
+        dead = set(lanes)
+        self.active = [lane for lane in self.active if lane not in dead]
+        if not self.active:
+            self._group_done()
+
+    def _group_done(self, timeout=False):
+        """The running lane group reached its termination point."""
+        if self._nested is not None:
+            # Nested scan ran off the program (HALT, dead lanes, timeout):
+            # fall back to loop-bound vectorization rather than give up.
+            self._ndm_fallback()
+            return
+        if timeout or self.reconv.empty:
+            self._terminate()
+            return
+        entry = self.reconv.pop()
+        if entry is None:
+            self._terminate()
+            return
+        pc, lanes = entry
+        self.pc = pc
+        self.active = list(lanes)
+        self._phase = "fetch"
+
+    def _terminate(self):
+        self.done = True
+        self.active = []
+        self._cur_ins = None
+        self._mem_pending = []
+        self.vrat.release_all()

@@ -1,0 +1,60 @@
+"""Vector Taint Tracker (VTT), paper Section 4.1.2.
+
+One bit per architectural integer register.  The destination of the
+initiating striding load is seeded; taint propagates transitively through
+instructions whose sources are tainted.  An instruction overwriting a
+tainted register from untainted sources clears the bit.  Whenever a
+*load*'s address inputs are tainted, the Final-Load Register (FLR) is
+updated with that load's PC -- identifying the end of the indirect chain.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import NUM_REGS
+
+
+class TaintTracker:
+    def __init__(self):
+        self.bits = 0          # bitmask over the 32 architectural registers
+        self.flr_pc = -1       # Final-Load Register (0/-1 == empty)
+        self.chain_pcs = []    # tainted instruction PCs (for stats/tests)
+
+    def reset(self, seed_reg=None):
+        self.bits = 0
+        self.flr_pc = -1
+        self.chain_pcs = []
+        if seed_reg is not None:
+            self.bits = 1 << seed_reg
+
+    def is_tainted(self, reg):
+        return bool(self.bits & (1 << reg))
+
+    def observe(self, ins):
+        """Propagate taint through one instruction (in program order).
+
+        Returns True if the instruction is part of the dependence chain
+        (i.e. any of its sources is tainted).
+        """
+        bits = self.bits
+        src_tainted = False
+        for reg in ins.srcs:
+            if bits & (1 << reg):
+                src_tainted = True
+                break
+        if src_tainted:
+            if ins.is_load:
+                self.flr_pc = ins.pc
+            self.chain_pcs.append(ins.pc)
+        if ins.rd >= 0:
+            if src_tainted:
+                self.bits |= 1 << ins.rd
+            else:
+                self.bits &= ~(1 << ins.rd)
+        return src_tainted
+
+    @property
+    def has_dependent_load(self):
+        return self.flr_pc >= 0
+
+    def tainted_regs(self):
+        return [reg for reg in range(NUM_REGS) if self.bits & (1 << reg)]

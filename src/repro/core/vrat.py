@@ -1,0 +1,105 @@
+"""Vector Register Allocation Table (paper Section 4.2.1, Fig 4).
+
+The subthread shares the core's physical register files, so although it
+executes in order it still renames: each architectural integer register
+maps either to one scalar physical register (shared across lanes) or to
+``vector_copies`` vector physical registers (one per AVX-512-style copy).
+
+Lane *values* live in the subthread's interpreter; the VRAT here enforces
+the paper's structural constraints -- finite free lists (256 int / 128
+vector physical registers shared with the main thread), allocation of 16
+vector registers on first vectorization of a destination, and freeing on
+overwrite -- and exposes exhaustion to the subthread, which must stall.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import NUM_REGS
+
+KIND_SCALAR = "scalar"
+KIND_VECTOR = "vector"
+
+
+class VratExhausted(Exception):
+    """No free physical registers for the requested mapping."""
+
+
+class Vrat:
+    def __init__(self, core_config, dvr_config, main_thread_int_regs_in_use=64):
+        # The main thread owns a share of the physical register files; the
+        # subthread allocates from what is left.
+        self._int_free = core_config.phys_int_regs - main_thread_int_regs_in_use
+        self._vec_free = core_config.phys_vec_regs
+        self._copies = dvr_config.vector_copies
+        self._kind = [None] * NUM_REGS
+        self.vector_allocs = 0
+        self.scalar_allocs = 0
+        self.exhaustions = 0
+
+    def initialize_from_main(self):
+        """Map every architectural register to a fresh scalar physical
+        register, decoupling the subthread from the main thread."""
+        needed = NUM_REGS
+        if self._int_free < needed:
+            self.exhaustions += 1
+            raise VratExhausted("not enough int physical registers to spawn")
+        self._int_free -= needed
+        self.scalar_allocs += needed
+        for reg in range(NUM_REGS):
+            self._kind[reg] = KIND_SCALAR
+
+    def kind(self, reg):
+        return self._kind[reg]
+
+    def make_vector(self, reg):
+        """Remap ``reg`` to vector physical registers (first vectorization)."""
+        if self._kind[reg] == KIND_VECTOR:
+            return
+        if self._vec_free < self._copies:
+            self.exhaustions += 1
+            raise VratExhausted("vector physical registers exhausted")
+        self._vec_free -= self._copies
+        self.vector_allocs += self._copies
+        self._release_scalar(reg)
+        self._kind[reg] = KIND_VECTOR
+
+    def make_scalar(self, reg):
+        """Remap ``reg`` back to one scalar physical register (a scalar
+        instruction overwrites a vectorized destination -- WAW in the
+        original code)."""
+        if self._kind[reg] == KIND_SCALAR:
+            return
+        if self._int_free < 1:
+            self.exhaustions += 1
+            raise VratExhausted("int physical registers exhausted")
+        self._release_vector(reg)
+        self._int_free -= 1
+        self.scalar_allocs += 1
+        self._kind[reg] = KIND_SCALAR
+
+    def _release_scalar(self, reg):
+        if self._kind[reg] == KIND_SCALAR:
+            self._int_free += 1
+        self._kind[reg] = None
+
+    def _release_vector(self, reg):
+        if self._kind[reg] == KIND_VECTOR:
+            self._vec_free += self._copies
+        self._kind[reg] = None
+
+    def release_all(self):
+        """Subthread termination: return every mapping to the free lists."""
+        for reg in range(NUM_REGS):
+            if self._kind[reg] == KIND_SCALAR:
+                self._int_free += 1
+            elif self._kind[reg] == KIND_VECTOR:
+                self._vec_free += self._copies
+            self._kind[reg] = None
+
+    @property
+    def free_vector_regs(self):
+        return self._vec_free
+
+    @property
+    def free_int_regs(self):
+        return self._int_free

@@ -1,0 +1,33 @@
+"""Experiment harness: runner, metrics, figure/table definitions."""
+
+from .experiments import (ALL_EXPERIMENTS, ExperimentResult, ExperimentScale,
+                          fig2_rob_sweep, fig7_performance, fig8_breakdown,
+                          fig9_mlp, fig10_accuracy, fig11_timeliness,
+                          fig12_dvr_rob, table1_config, table2_graphs)
+from .metrics import Metrics
+from .report import format_kv, format_table, gmean, hmean
+from .runner import build_engine, run_built, run_techniques, run_workload
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "Metrics",
+    "build_engine",
+    "fig2_rob_sweep",
+    "fig7_performance",
+    "fig8_breakdown",
+    "fig9_mlp",
+    "fig10_accuracy",
+    "fig11_timeliness",
+    "fig12_dvr_rob",
+    "format_kv",
+    "format_table",
+    "gmean",
+    "hmean",
+    "run_built",
+    "run_techniques",
+    "run_workload",
+    "table1_config",
+    "table2_graphs",
+]

@@ -1,0 +1,310 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Each ``fig*``/``table*`` function runs the simulations it needs and
+returns a result object with the raw numbers plus a ``render()`` giving
+the same rows/series the paper reports.  The benchmark harness
+(``benchmarks/``) calls these; so can users.
+
+Workload scale is controlled by ``ExperimentScale``: the default "small"
+scale runs the GAP kernels on two inputs and trims the instruction budget
+so a full figure regenerates in minutes on a laptop; "full" runs every
+benchmark-input combination of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..config import (DVR_BREAKDOWN, SimConfig, TECH_DVR, TECH_IMP, TECH_OOO,
+                      TECH_ORACLE, TECH_PRE, TECH_VR)
+from ..memsys.cache import SRC_DVR
+from ..memsys.hierarchy import LEVELS
+from ..workloads import GAP_WORKLOADS, GRAPH_INPUTS, HPCDB_WORKLOADS
+from ..workloads.graphs import build_csr
+from .report import format_table, hmean
+from .runner import run_workload
+
+ROB_SIZES = (128, 192, 224, 350, 512)
+
+
+@dataclass
+class ExperimentScale:
+    """How big an experiment run should be."""
+
+    gap_graphs: tuple = ("KR", "UR")
+    hpcdb: tuple = ("camel", "hj2", "hj8", "kangaroo", "nas-cg", "nas-is",
+                    "randomaccess", "graph500")
+    max_instructions: int = 20_000
+    seed: int = 12345
+
+    @classmethod
+    def from_env(cls):
+        """REPRO_SCALE=full for the paper's full matrix, else small."""
+        if os.environ.get("REPRO_SCALE", "small") == "full":
+            return cls.full()
+        return cls()
+
+    @classmethod
+    def full(cls):
+        return cls(gap_graphs=tuple(GRAPH_INPUTS), max_instructions=50_000)
+
+    def config(self, technique=TECH_OOO):
+        return SimConfig(max_instructions=self.max_instructions
+                         ).with_technique(technique)
+
+    def workloads(self, gap_only=False):
+        """(label, factory) pairs for this scale."""
+        pairs = []
+        for kernel, cls in GAP_WORKLOADS.items():
+            for graph in self.gap_graphs:
+                pairs.append((f"{kernel}_{graph}", cls(graph=graph)))
+        if not gap_only:
+            for name in self.hpcdb:
+                pairs.append((name, HPCDB_WORKLOADS[name]()))
+        return pairs
+
+
+class ExperimentResult:
+    """Generic container: per-cell values plus a renderer."""
+
+    def __init__(self, name, headers, rows, notes=""):
+        self.name = name
+        self.headers = headers
+        self.rows = rows
+        self.notes = notes
+
+    def render(self):
+        text = format_table(self.headers, self.rows, title=self.name)
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: OoO & VR vs ROB size, + full-ROB stall time
+# ---------------------------------------------------------------------------
+def fig2_rob_sweep(scale=None, rob_sizes=ROB_SIZES):
+    scale = scale or ExperimentScale.from_env()
+    workloads = scale.workloads()
+    base_cfg = scale.config(TECH_OOO)
+
+    baseline_ipc = {}
+    for label, factory in workloads:
+        metrics = run_workload(factory, base_cfg, seed=scale.seed)
+        baseline_ipc[label] = metrics.ipc
+
+    rows = []
+    for rob in rob_sizes:
+        ooo_speedups, vr_speedups, stall = [], [], []
+        for label, factory in workloads:
+            cfg = scale.config(TECH_OOO).with_rob(rob)
+            ooo = run_workload(factory, cfg, seed=scale.seed)
+            cfg = scale.config(TECH_VR).with_rob(rob)
+            vr = run_workload(factory, cfg, seed=scale.seed)
+            ooo_speedups.append(ooo.ipc / baseline_ipc[label])
+            vr_speedups.append(vr.ipc / baseline_ipc[label])
+            stall.append(ooo.rob_full_fraction)
+        rows.append([rob, hmean(ooo_speedups), hmean(vr_speedups),
+                     100.0 * sum(stall) / len(stall)])
+    return ExperimentResult(
+        "Figure 2: performance vs ROB size (normalized to OoO-350)",
+        ["ROB", "OoO speedup", "VR speedup", "full-ROB stall %"], rows,
+        notes="Paper: VR's gain shrinks as the ROB grows; stall % falls.")
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: per-benchmark speedups of PRE / IMP / VR / DVR / Oracle
+# ---------------------------------------------------------------------------
+FIG7_TECHNIQUES = (TECH_PRE, TECH_IMP, TECH_VR, TECH_DVR, TECH_ORACLE)
+
+
+def fig7_performance(scale=None, techniques=FIG7_TECHNIQUES):
+    scale = scale or ExperimentScale.from_env()
+    rows = []
+    per_tech = {tech: [] for tech in techniques}
+    for label, factory in scale.workloads():
+        base = run_workload(factory, scale.config(TECH_OOO), seed=scale.seed)
+        row = [label]
+        for tech in techniques:
+            metrics = run_workload(factory, scale.config(tech),
+                                   seed=scale.seed)
+            speedup = metrics.speedup_over(base)
+            per_tech[tech].append(speedup)
+            row.append(speedup)
+        rows.append(row)
+    rows.append(["H-mean"] + [hmean(per_tech[tech]) for tech in techniques])
+    return ExperimentResult(
+        "Figure 7: speedup over the baseline OoO core",
+        ["benchmark"] + list(techniques), rows,
+        notes="Paper: DVR 2.4x h-mean (up to 6.4x); VR ~1.2x; PRE ~1x.")
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: DVR performance breakdown (VR / Offload / +Discovery / +Nested)
+# ---------------------------------------------------------------------------
+def fig8_breakdown(scale=None):
+    scale = scale or ExperimentScale.from_env()
+    rows = []
+    per_tech = {tech: [] for tech in DVR_BREAKDOWN}
+    for label, factory in scale.workloads():
+        base = run_workload(factory, scale.config(TECH_OOO), seed=scale.seed)
+        row = [label]
+        for tech in DVR_BREAKDOWN:
+            metrics = run_workload(factory, scale.config(tech),
+                                   seed=scale.seed)
+            speedup = metrics.speedup_over(base)
+            per_tech[tech].append(speedup)
+            row.append(speedup)
+        rows.append(row)
+    rows.append(["H-mean"] + [hmean(per_tech[t]) for t in DVR_BREAKDOWN])
+    return ExperimentResult(
+        "Figure 8: DVR breakdown (VR -> +Offload -> +Discovery -> +Nested)",
+        ["benchmark"] + list(DVR_BREAKDOWN), rows,
+        notes="Paper: offload alone lifts VR 1.2x -> ~1.5x; full DVR is "
+              "uniformly best.")
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: memory-level parallelism (average MSHRs per cycle)
+# ---------------------------------------------------------------------------
+def fig9_mlp(scale=None):
+    scale = scale or ExperimentScale.from_env()
+    techniques = (TECH_OOO, TECH_VR, TECH_DVR)
+    rows = []
+    sums = {tech: [] for tech in techniques}
+    for label, factory in scale.workloads():
+        row = [label]
+        for tech in techniques:
+            metrics = run_workload(factory, scale.config(tech),
+                                   seed=scale.seed)
+            row.append(metrics.mlp)
+            sums[tech].append(metrics.mlp)
+        rows.append(row)
+    rows.append(["Mean"] + [sum(sums[t]) / len(sums[t]) for t in techniques])
+    return ExperimentResult(
+        "Figure 9: MLP (MSHRs used per cycle, average)",
+        ["benchmark", "OoO", "VR", "DVR"], rows,
+        notes="Paper: OoO <4 on average; DVR >10.")
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: DRAM accesses, split main thread vs runahead, VR vs DVR
+# ---------------------------------------------------------------------------
+def fig10_accuracy(scale=None):
+    scale = scale or ExperimentScale.from_env()
+    rows = []
+    for label, factory in scale.workloads():
+        base = run_workload(factory, scale.config(TECH_OOO), seed=scale.seed)
+        base_total = max(1, sum(base.dram_accesses.values()))
+        row = [label]
+        for tech in (TECH_VR, TECH_DVR):
+            metrics = run_workload(factory, scale.config(tech),
+                                   seed=scale.seed)
+            main, runahead = metrics.dram_split()
+            row.extend([main / base_total, runahead / base_total])
+        rows.append(row)
+    return ExperimentResult(
+        "Figure 10: DRAM accesses normalized to baseline OoO",
+        ["benchmark", "VR main", "VR runahead", "DVR main", "DVR runahead"],
+        rows,
+        notes="Paper: VR over-fetches (>2x total in places); DVR stays "
+              "near 1x thanks to Discovery Mode.")
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: timeliness of DVR prefetches
+# ---------------------------------------------------------------------------
+def fig11_timeliness(scale=None):
+    scale = scale or ExperimentScale.from_env()
+    rows = []
+    for label, factory in scale.workloads():
+        metrics = run_workload(factory, scale.config(TECH_DVR),
+                               seed=scale.seed)
+        fractions = metrics.timeliness_fractions(SRC_DVR)
+        rows.append([label] + [100.0 * fractions[level] for level in LEVELS])
+    return ExperimentResult(
+        "Figure 11: where the main thread finds DVR-prefetched lines (%)",
+        ["benchmark"] + [f"{level} %" for level in LEVELS], rows,
+        notes="Paper: most prefetched lines are found in the L1-D; a "
+              "consistent 10-20% arrive late (off-chip).")
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: DVR vs ROB size (gain holds up, unlike VR)
+# ---------------------------------------------------------------------------
+def fig12_dvr_rob(scale=None, rob_sizes=ROB_SIZES, scale_backend=False):
+    scale = scale or ExperimentScale.from_env()
+    workloads = scale.workloads()
+    baseline_ipc = {}
+    for label, factory in workloads:
+        metrics = run_workload(factory, scale.config(TECH_OOO),
+                               seed=scale.seed)
+        baseline_ipc[label] = metrics.ipc
+    rows = []
+    for rob in rob_sizes:
+        ooo_speedups, dvr_speedups = [], []
+        for label, factory in workloads:
+            ooo = run_workload(
+                factory,
+                scale.config(TECH_OOO).with_rob(rob, scale_backend),
+                seed=scale.seed)
+            dvr = run_workload(
+                factory,
+                scale.config(TECH_DVR).with_rob(rob, scale_backend),
+                seed=scale.seed)
+            ooo_speedups.append(ooo.ipc / baseline_ipc[label])
+            dvr_speedups.append(dvr.ipc / baseline_ipc[label])
+        rows.append([rob, hmean(ooo_speedups), hmean(dvr_speedups),
+                     hmean(dvr_speedups) / max(1e-9, hmean(ooo_speedups))])
+    return ExperimentResult(
+        "Figure 12: DVR vs ROB size (normalized to OoO-350)",
+        ["ROB", "OoO speedup", "DVR speedup", "DVR/OoO"], rows,
+        notes="Paper: DVR's relative gain *grows* with ROB size "
+              "(1.9x at 128 to 2.5x at 512), unlike VR in Fig 2.")
+
+
+# ---------------------------------------------------------------------------
+# Table 1 and Table 2
+# ---------------------------------------------------------------------------
+def table1_config():
+    from ..config import table1_rows
+    rows = [[k, v] for k, v in table1_rows()]
+    return ExperimentResult("Table 1: baseline OoO configuration",
+                            ["parameter", "value"], rows)
+
+
+def table2_graphs(scale=None):
+    """Graph inputs + measured LLC MPKI aggregated over the GAP kernels."""
+    scale = scale or ExperimentScale.from_env()
+    rows = []
+    for name, spec in GRAPH_INPUTS.items():
+        offsets, neighbors = build_csr(spec, seed=scale.seed)
+        total_dram = 0
+        total_instr = 0
+        for kernel, cls in GAP_WORKLOADS.items():
+            metrics = run_workload(cls(graph=name), scale.config(TECH_OOO),
+                                   seed=scale.seed)
+            total_dram += sum(metrics.dram_accesses.values())
+            total_instr += metrics.committed
+        mpki = 1000.0 * total_dram / max(1, total_instr)
+        rows.append([name, (len(offsets) - 1) / 1e6, len(neighbors) / 1e6,
+                     mpki])
+    return ExperimentResult(
+        "Table 2: graph inputs (scaled) + measured LLC MPKI over GAP",
+        ["input", "nodes (M)", "edges (M)", "LLC MPKI"], rows,
+        notes="Paper (full-scale): KR 134.2M/2111.6M/19, LJN 4.8/69/21, "
+              "ORK 3.1/1930/18, TW 61.6/1468/61, UR 134.2/2147.4/32.")
+
+
+ALL_EXPERIMENTS = {
+    "table1": table1_config,
+    "table2": table2_graphs,
+    "fig2": fig2_rob_sweep,
+    "fig7": fig7_performance,
+    "fig8": fig8_breakdown,
+    "fig9": fig9_mlp,
+    "fig10": fig10_accuracy,
+    "fig11": fig11_timeliness,
+    "fig12": fig12_dvr_rob,
+}

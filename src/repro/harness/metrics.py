@@ -1,0 +1,96 @@
+"""Simulation result container with the paper's derived metrics."""
+
+from __future__ import annotations
+
+from ..memsys.hierarchy import LEVELS
+
+
+class Metrics:
+    """Everything one simulation run produces, figure-ready."""
+
+    def __init__(self, workload, technique, core_stats, mem_stats, mlp,
+                 engine_stats, config):
+        self.workload = workload
+        self.technique = technique
+        self.cycles = core_stats.cycles
+        self.committed = core_stats.committed
+        self.ipc = core_stats.ipc
+        self.rob_full_fraction = core_stats.rob_full_fraction
+        self.rob_full_cycles = core_stats.rob_full_cycles
+        self.commit_blocked_runahead = core_stats.commit_blocked_runahead
+        self.branch_mispredicts = core_stats.branch_mispredicts
+        self.branch_lookups = core_stats.branch_lookups
+        self.cpi_stack = core_stats.cpi_stack()
+        self.mlp = mlp                              # avg MSHRs/cycle (Fig 9)
+        self.dram_accesses = dict(mem_stats.dram_accesses)   # Fig 10
+        self.demand_hits = dict(mem_stats.demand_hits)
+        self.prefetch_issued = dict(mem_stats.prefetch_issued)
+        self.prefetch_used = dict(mem_stats.prefetch_used)
+        self.timeliness = {source: dict(hist)
+                           for source, hist in mem_stats.timeliness.items()}
+        self.mshr_blocked = mem_stats.mshr_blocked
+        self.engine_stats = dict(engine_stats)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    @property
+    def mpki(self):
+        """LLC misses (DRAM accesses) per kilo committed instruction."""
+        if self.committed == 0:
+            return 0.0
+        return 1000.0 * sum(self.dram_accesses.values()) / self.committed
+
+    @property
+    def demand_mpki(self):
+        if self.committed == 0:
+            return 0.0
+        return 1000.0 * self.dram_accesses.get("demand", 0) / self.committed
+
+    @property
+    def branch_mpki(self):
+        if self.committed == 0:
+            return 0.0
+        return 1000.0 * self.branch_mispredicts / self.committed
+
+    def speedup_over(self, baseline):
+        """IPC ratio against a baseline run of the same workload."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def dram_split(self):
+        """(main-thread accesses, runahead/prefetch accesses) -- Fig 10."""
+        main = self.dram_accesses.get("demand", 0)
+        other = sum(count for source, count in self.dram_accesses.items()
+                    if source != "demand")
+        return main, other
+
+    def timeliness_fractions(self, source):
+        """Fraction of ``source``-prefetched lines the main thread found in
+        each level (Fig 11)."""
+        hist = self.timeliness.get(source)
+        if not hist:
+            return {level: 0.0 for level in LEVELS}
+        total = sum(hist.values())
+        if total == 0:
+            return {level: 0.0 for level in LEVELS}
+        return {level: hist.get(level, 0) / total for level in LEVELS}
+
+    def as_dict(self):
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "mlp": self.mlp,
+            "rob_full_fraction": self.rob_full_fraction,
+            "mpki": self.mpki,
+            "branch_mpki": self.branch_mpki,
+            "dram_accesses": self.dram_accesses,
+            "engine_stats": self.engine_stats,
+        }
+
+    def __repr__(self):
+        return (f"<Metrics {self.workload}/{self.technique} "
+                f"ipc={self.ipc:.3f} mlp={self.mlp:.1f}>")

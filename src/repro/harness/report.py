@@ -1,0 +1,55 @@
+"""ASCII table/series rendering for experiment results."""
+
+from __future__ import annotations
+
+
+def hmean(values):
+    """Harmonic mean (the paper's aggregate for speedups)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def gmean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-rows table with right-aligned numeric columns."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                       for i, (h, w) in enumerate(zip(headers, widths)))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(
+            cell.ljust(w) if i == 0 else cell.rjust(w)
+            for i, (cell, w) in enumerate(zip(row, widths))))
+    return "\n".join(lines)
+
+
+def format_kv(title, pairs):
+    lines = [title]
+    width = max(len(str(k)) for k, _ in pairs) if pairs else 0
+    for key, value in pairs:
+        lines.append(f"  {str(key).ljust(width)}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Run one (workload, technique, config) simulation and collect Metrics."""
+
+from __future__ import annotations
+
+from ..config import (SimConfig, TECH_DVR, TECH_DVR_DISCOVERY,
+                      TECH_DVR_OFFLOAD, TECH_IMP, TECH_OOO, TECH_ORACLE,
+                      TECH_PRE, TECH_VR)
+from ..core.dvr import DvrEngine
+from ..memsys.hierarchy import MemoryHierarchy
+from ..runahead import OracleEngine, PreEngine, VrEngine
+from ..uarch.core import NullEngine, OoOCore
+from .metrics import Metrics
+
+_DVR_TECHNIQUES = (TECH_DVR, TECH_DVR_OFFLOAD, TECH_DVR_DISCOVERY)
+
+
+def build_engine(config, program, guest_memory, hierarchy):
+    technique = config.technique
+    if technique in (TECH_OOO, TECH_IMP):
+        return NullEngine()
+    if technique == TECH_PRE:
+        return PreEngine(config, program, guest_memory, hierarchy)
+    if technique == TECH_VR:
+        return VrEngine(config, program, guest_memory, hierarchy)
+    if technique in _DVR_TECHNIQUES:
+        return DvrEngine(config, program, guest_memory, hierarchy)
+    if technique == TECH_ORACLE:
+        return OracleEngine()
+    raise ValueError(f"unknown technique {technique!r}")
+
+
+def run_built(built, config):
+    """Simulate an already-built workload instance."""
+    hierarchy = MemoryHierarchy(config.memsys, config.stride_pf, config.imp,
+                                built.memory)
+    engine = build_engine(config, built.program, built.memory, hierarchy)
+    core = OoOCore(built.program, built.memory, config, hierarchy,
+                   engine=engine,
+                   perfect_memory=config.technique == TECH_ORACLE)
+    core_stats = core.run()
+    return Metrics(
+        workload=built.name,
+        technique=config.technique,
+        core_stats=core_stats,
+        mem_stats=hierarchy.stats,
+        mlp=hierarchy.mlp(core_stats.cycles),
+        engine_stats=engine.stats(),
+        config=config,
+    )
+
+
+def run_workload(workload, config=None, technique=None, seed=12345):
+    """Build and simulate ``workload``; the main public entry point.
+
+    ``workload`` is a :class:`~repro.workloads.base.Workload` factory (or
+    an already-built instance).  ``technique`` overrides the config's.
+    """
+    config = config or SimConfig()
+    if technique is not None:
+        config = config.with_technique(technique)
+    if hasattr(workload, "build"):
+        built = workload.build(
+            memory_bytes=config.memsys.guest_memory_bytes, seed=seed)
+    else:
+        built = workload
+    return run_built(built, config)
+
+
+def run_techniques(workload, techniques, config=None, seed=12345):
+    """Run the same workload under several techniques.
+
+    Returns {technique: Metrics}.  The workload is re-built per run so
+    techniques never share guest state.
+    """
+    config = config or SimConfig()
+    return {tech: run_workload(workload, config, technique=tech, seed=seed)
+            for tech in techniques}

@@ -1,0 +1,26 @@
+"""Guest ISA: instructions, assembler, program container, functional machine."""
+
+from .instructions import (Instruction, NUM_REGS, Op, OP_NAMES, WORD_BYTES,
+                           hash64, to_signed64)
+from .assembler import Assembler, AssemblyError
+from .program import Program
+from .machine import (GuestFault, GuestMemory, compute_mem_addr, execute,
+                      run_functional)
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "GuestFault",
+    "GuestMemory",
+    "Instruction",
+    "NUM_REGS",
+    "Op",
+    "OP_NAMES",
+    "Program",
+    "WORD_BYTES",
+    "compute_mem_addr",
+    "execute",
+    "hash64",
+    "run_functional",
+    "to_signed64",
+]

@@ -1,0 +1,206 @@
+"""A tiny assembler DSL for building guest programs in Python.
+
+Example::
+
+    a = Assembler("sum_indirect")
+    a.li("r1", 0)                       # i = 0
+    a.label("loop")
+    a.loadx("r2", "rA", "r1")           # x = A[i]
+    a.loadx("r3", "rB", "r2")           # y = B[x]
+    a.add("r4", "r4", "r3")             # sum += y
+    a.addi("r1", "r1", 1)
+    a.cmplt("r5", "r1", "rN")
+    a.bnz("r5", "loop")
+    a.halt()
+    program = a.build()
+
+Registers may be written ``"r7"`` or ``7``; named aliases can be declared
+with :meth:`Assembler.alias` (``"rA"`` above).
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction, Op, WORD_BYTES
+from .program import Program
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly (bad registers, unknown labels...)."""
+
+
+class Assembler:
+    def __init__(self, name="program"):
+        self.name = name
+        self._instructions = []
+        self._labels = {}
+        self._fixups = []  # (instruction index, label name)
+        self._aliases = {}
+
+    # ------------------------------------------------------------------
+    # Registers and labels
+    # ------------------------------------------------------------------
+    def alias(self, name, reg):
+        """Give register ``reg`` a readable alias, e.g. ``alias('rBase', 9)``."""
+        self._aliases[name] = self._reg(reg)
+        return self._aliases[name]
+
+    def _reg(self, reg):
+        if isinstance(reg, int):
+            index = reg
+        elif reg in self._aliases:
+            index = self._aliases[reg]
+        elif isinstance(reg, str) and reg.startswith("r") and reg[1:].isdigit():
+            index = int(reg[1:])
+        else:
+            raise AssemblyError(f"unknown register {reg!r}")
+        if not 0 <= index < 32:
+            raise AssemblyError(f"register index out of range: {reg!r}")
+        return index
+
+    def label(self, name):
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def here(self):
+        """Current pc (index of the next emitted instruction)."""
+        return len(self._instructions)
+
+    def _emit(self, op, rd=-1, rs1=-1, rs2=-1, rs3=-1, imm=0, target=-1,
+              label=None):
+        ins = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, rs3=rs3, imm=imm,
+                          target=target)
+        if label is not None:
+            self._fixups.append((len(self._instructions), label))
+        self._instructions.append(ins)
+        return ins
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    def _rrr(self, op, rd, rs1, rs2):
+        return self._emit(op, rd=self._reg(rd), rs1=self._reg(rs1),
+                          rs2=self._reg(rs2))
+
+    def _rri(self, op, rd, rs1, imm):
+        return self._emit(op, rd=self._reg(rd), rs1=self._reg(rs1),
+                          imm=int(imm))
+
+    def add(self, rd, rs1, rs2):
+        return self._rrr(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._rrr(Op.SUB, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        return self._rrr(Op.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._rrr(Op.DIV, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._rrr(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._rrr(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._rrr(Op.XOR, rd, rs1, rs2)
+
+    def shl(self, rd, rs1, rs2):
+        return self._rrr(Op.SHL, rd, rs1, rs2)
+
+    def shr(self, rd, rs1, rs2):
+        return self._rrr(Op.SHR, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm):
+        return self._rri(Op.ADDI, rd, rs1, imm)
+
+    def muli(self, rd, rs1, imm):
+        return self._rri(Op.MULI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._rri(Op.ANDI, rd, rs1, imm)
+
+    def shli(self, rd, rs1, imm):
+        return self._rri(Op.SHLI, rd, rs1, imm)
+
+    def shri(self, rd, rs1, imm):
+        return self._rri(Op.SHRI, rd, rs1, imm)
+
+    def li(self, rd, imm):
+        return self._emit(Op.LI, rd=self._reg(rd), imm=int(imm))
+
+    def mov(self, rd, rs1):
+        return self._emit(Op.MOV, rd=self._reg(rd), rs1=self._reg(rs1))
+
+    def hash(self, rd, rs1):
+        return self._emit(Op.HASH, rd=self._reg(rd), rs1=self._reg(rs1))
+
+    # ------------------------------------------------------------------
+    # Compares
+    # ------------------------------------------------------------------
+    def cmplt(self, rd, rs1, rs2):
+        return self._rrr(Op.CMPLT, rd, rs1, rs2)
+
+    def cmple(self, rd, rs1, rs2):
+        return self._rrr(Op.CMPLE, rd, rs1, rs2)
+
+    def cmpeq(self, rd, rs1, rs2):
+        return self._rrr(Op.CMPEQ, rd, rs1, rs2)
+
+    def cmpne(self, rd, rs1, rs2):
+        return self._rrr(Op.CMPNE, rd, rs1, rs2)
+
+    def cmplti(self, rd, rs1, imm):
+        return self._rri(Op.CMPLTI, rd, rs1, imm)
+
+    def cmpeqi(self, rd, rs1, imm):
+        return self._rri(Op.CMPEQI, rd, rs1, imm)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def load(self, rd, base, offset=0):
+        return self._emit(Op.LOAD, rd=self._reg(rd), rs1=self._reg(base),
+                          imm=int(offset))
+
+    def loadx(self, rd, base, index, scale=WORD_BYTES):
+        return self._emit(Op.LOADX, rd=self._reg(rd), rs1=self._reg(base),
+                          rs2=self._reg(index), imm=int(scale))
+
+    def store(self, value, base, offset=0):
+        return self._emit(Op.STORE, rs1=self._reg(base),
+                          rs3=self._reg(value), imm=int(offset))
+
+    def storex(self, value, base, index, scale=WORD_BYTES):
+        return self._emit(Op.STOREX, rs1=self._reg(base),
+                          rs2=self._reg(index), rs3=self._reg(value),
+                          imm=int(scale))
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def bnz(self, rs1, label):
+        return self._emit(Op.BNZ, rs1=self._reg(rs1), label=label)
+
+    def bez(self, rs1, label):
+        return self._emit(Op.BEZ, rs1=self._reg(rs1), label=label)
+
+    def jmp(self, label):
+        return self._emit(Op.JMP, label=label)
+
+    def nop(self):
+        return self._emit(Op.NOP)
+
+    def halt(self):
+        return self._emit(Op.HALT)
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """Resolve labels and return the finished :class:`Program`."""
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise AssemblyError(f"undefined label {label!r}")
+            self._instructions[index].target = self._labels[label]
+        return Program(self._instructions, self._labels, name=self.name)

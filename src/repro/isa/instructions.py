@@ -1,0 +1,145 @@
+"""Guest instruction set for the DVR reproduction.
+
+The simulator executes a small RISC-like register ISA.  It is deliberately
+minimal but chosen so that the dynamic instruction streams of the paper's
+workloads look the same to the microarchitecture: striding loads, chains of
+dependent (indirect) loads, compare+backward-branch loops, and
+data-dependent forward branches.
+
+Registers are 64-bit integers ``r0`` .. ``r31`` (none are hardwired).
+Memory is byte-addressed; all accesses are 8-byte words.
+"""
+
+from __future__ import annotations
+
+
+class Op:
+    """Opcode constants (plain ints for fast dispatch)."""
+
+    NOP = 0
+    # ALU register-register
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    DIV = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    SHL = 8
+    SHR = 9
+    # ALU register-immediate
+    ADDI = 10
+    MULI = 11
+    ANDI = 12
+    SHLI = 13
+    SHRI = 14
+    LI = 15
+    MOV = 16
+    HASH = 17  # one-input integer mixing function (models hash computation)
+    # Compares (write 0/1 to rd)
+    CMPLT = 18
+    CMPLE = 19
+    CMPEQ = 20
+    CMPNE = 21
+    CMPLTI = 22
+    CMPEQI = 23
+    # Memory
+    LOAD = 24    # rd <- mem[R[rs1] + imm]
+    LOADX = 25   # rd <- mem[R[rs1] + R[rs2]*imm]   (imm = scale, usually 8)
+    STORE = 26   # mem[R[rs1] + imm] <- R[rs3]
+    STOREX = 27  # mem[R[rs1] + R[rs2]*imm] <- R[rs3]
+    # Control
+    BNZ = 28     # branch to target if R[rs1] != 0
+    BEZ = 29     # branch to target if R[rs1] == 0
+    JMP = 30
+    HALT = 31
+
+    COUNT = 32
+
+
+OP_NAMES = {
+    value: name.lower()
+    for name, value in vars(Op).items()
+    if not name.startswith("_") and name != "COUNT"
+}
+
+_LOADS = frozenset({Op.LOAD, Op.LOADX})
+_STORES = frozenset({Op.STORE, Op.STOREX})
+_BRANCHES = frozenset({Op.BNZ, Op.BEZ, Op.JMP})
+_COND_BRANCHES = frozenset({Op.BNZ, Op.BEZ})
+_COMPARES = frozenset(
+    {Op.CMPLT, Op.CMPLE, Op.CMPEQ, Op.CMPNE, Op.CMPLTI, Op.CMPEQI}
+)
+_NO_DEST = _STORES | _BRANCHES | frozenset({Op.NOP, Op.HALT})
+
+NUM_REGS = 32
+WORD_BYTES = 8
+
+_MASK64 = (1 << 64) - 1
+
+
+def to_signed64(value):
+    """Wrap an unbounded Python int to signed 64-bit two's complement."""
+    value &= _MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def hash64(value):
+    """The guest ``hash`` primitive: a splitmix64-style integer mixer."""
+    value = to_signed64(value)
+    x = (value + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return to_signed64(x)
+
+
+class Instruction:
+    """One static guest instruction.
+
+    Fields not used by an opcode are -1 (registers), 0 (imm) or -1
+    (target).  ``pc`` is the instruction's index within its program.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "rs3", "imm", "target", "pc",
+                 "is_load", "is_store", "is_branch", "is_cond_branch",
+                 "is_compare", "srcs")
+
+    def __init__(self, op, rd=-1, rs1=-1, rs2=-1, rs3=-1, imm=0, target=-1,
+                 pc=-1):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.rs3 = rs3
+        self.imm = imm
+        self.target = target
+        self.pc = pc
+        self.is_load = op in _LOADS
+        self.is_store = op in _STORES
+        self.is_branch = op in _BRANCHES
+        self.is_cond_branch = op in _COND_BRANCHES
+        self.is_compare = op in _COMPARES
+        self.srcs = tuple(r for r in (rs1, rs2, rs3) if r >= 0)
+
+    @property
+    def writes_reg(self):
+        return self.rd >= 0
+
+    @property
+    def name(self):
+        return OP_NAMES[self.op]
+
+    def __repr__(self):
+        parts = [f"{self.name}"]
+        if self.rd >= 0:
+            parts.append(f"r{self.rd}")
+        for r in self.srcs:
+            parts.append(f"r{r}")
+        if self.imm:
+            parts.append(f"#{self.imm}")
+        if self.target >= 0:
+            parts.append(f"@{self.target}")
+        return f"<{self.pc}: {' '.join(parts)}>"

@@ -1,0 +1,56 @@
+"""Program container for assembled guest code."""
+
+from __future__ import annotations
+
+from .instructions import OP_NAMES
+
+
+class Program:
+    """An assembled guest program: a flat list of instructions plus labels.
+
+    PCs are instruction indices (the front end fetches by index; there is
+    no variable-length encoding).  ``labels`` maps label name -> pc.
+    """
+
+    def __init__(self, instructions, labels=None, name="program"):
+        self.instructions = list(instructions)
+        self.labels = dict(labels or {})
+        self.name = name
+        for pc, ins in enumerate(self.instructions):
+            ins.pc = pc
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, pc):
+        return self.instructions[pc]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def label_at(self, pc):
+        """Return labels pointing at ``pc`` (for disassembly)."""
+        return [name for name, target in self.labels.items() if target == pc]
+
+    def disassemble(self):
+        """Return a human-readable listing of the program."""
+        lines = []
+        for pc, ins in enumerate(self.instructions):
+            for label in self.label_at(pc):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}  {_format(ins)}")
+        return "\n".join(lines)
+
+
+def _format(ins):
+    name = OP_NAMES[ins.op]
+    fields = []
+    if ins.rd >= 0:
+        fields.append(f"r{ins.rd}")
+    for reg in ins.srcs:
+        fields.append(f"r{reg}")
+    if ins.imm:
+        fields.append(str(ins.imm))
+    if ins.target >= 0:
+        fields.append(f"-> {ins.target}")
+    return f"{name} {', '.join(fields)}".rstrip()

@@ -1,0 +1,39 @@
+"""Memory system: caches, MSHRs, DRAM, prefetchers, and the hierarchy."""
+
+from .cache import (Cache, CacheLine, LINE_BYTES, LINE_SHIFT,
+                    PREFETCH_SOURCES, RUNAHEAD_SOURCES, SRC_DEMAND, SRC_DVR,
+                    SRC_IMP, SRC_ORACLE, SRC_PRE, SRC_STRIDE, SRC_VR)
+from .dram import Dram
+from .hierarchy import (AccessResult, LEVEL_L1, LEVEL_L2, LEVEL_L3,
+                        LEVEL_OFFCHIP, LEVELS, MemoryHierarchy, MemStats)
+from .imp import IndirectMemoryPrefetcher
+from .mshr import MshrFile
+from .stride_prefetcher import StridePrefetcher
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheLine",
+    "Dram",
+    "IndirectMemoryPrefetcher",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_L3",
+    "LEVEL_OFFCHIP",
+    "LEVELS",
+    "LINE_BYTES",
+    "LINE_SHIFT",
+    "MemStats",
+    "MemoryHierarchy",
+    "MshrFile",
+    "PREFETCH_SOURCES",
+    "RUNAHEAD_SOURCES",
+    "SRC_DEMAND",
+    "SRC_DVR",
+    "SRC_IMP",
+    "SRC_ORACLE",
+    "SRC_PRE",
+    "SRC_STRIDE",
+    "SRC_VR",
+    "StridePrefetcher",
+]

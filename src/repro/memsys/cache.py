@@ -1,0 +1,110 @@
+"""Set-associative cache with LRU replacement and line provenance.
+
+Each line remembers *who* brought it into the hierarchy (demand access,
+stride prefetcher, IMP, PRE, VR, DVR, ...) and whether a demand access has
+touched it since, which feeds the paper's accuracy (Fig 10) and timeliness
+(Fig 11) statistics.
+"""
+
+from __future__ import annotations
+
+LINE_BYTES = 64
+LINE_SHIFT = 6
+
+# Provenance of a cache line / memory request.
+SRC_DEMAND = "demand"
+SRC_STRIDE = "stride"
+SRC_IMP = "imp"
+SRC_PRE = "pre"
+SRC_VR = "vr"
+SRC_DVR = "dvr"
+SRC_ORACLE = "oracle"
+
+RUNAHEAD_SOURCES = frozenset({SRC_PRE, SRC_VR, SRC_DVR})
+PREFETCH_SOURCES = frozenset(
+    {SRC_STRIDE, SRC_IMP, SRC_PRE, SRC_VR, SRC_DVR, SRC_ORACLE})
+
+
+class CacheLine:
+    """Metadata for one resident line (the tag is the dict key)."""
+
+    __slots__ = ("source", "used", "ready_at", "origin_level")
+
+    def __init__(self, source, ready_at, origin_level):
+        self.source = source
+        self.used = False
+        self.ready_at = ready_at          # cycle the fill data arrives
+        self.origin_level = origin_level  # where the fill came from
+
+
+class Cache:
+    """One cache level.  Sets are dicts ordered by recency (LRU first)."""
+
+    def __init__(self, config, name):
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        if self.num_sets <= 0 or self.num_sets & (self.num_sets - 1):
+            raise ValueError(
+                f"{name}: number of sets must be a positive power of two, "
+                f"got {self.num_sets}")
+        self.assoc = config.assoc
+        self.latency = config.latency
+        self._set_mask = self.num_sets - 1
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, line_addr, update_lru=True):
+        """Return the :class:`CacheLine` if resident (refreshing LRU)."""
+        cache_set = self._sets[line_addr & self._set_mask]
+        line = cache_set.get(line_addr)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if update_lru:
+            del cache_set[line_addr]
+            cache_set[line_addr] = line
+        return line
+
+    def contains(self, line_addr):
+        """Presence check without touching LRU state or hit counters."""
+        return line_addr in self._sets[line_addr & self._set_mask]
+
+    def peek(self, line_addr):
+        """Return line metadata without LRU/stat side effects."""
+        return self._sets[line_addr & self._set_mask].get(line_addr)
+
+    def install(self, line_addr, line):
+        """Insert a :class:`CacheLine`; returns (evicted_addr, line) or None.
+
+        The same ``CacheLine`` object may be installed into several levels
+        so that its ``used``/``ready_at`` metadata stays coherent across
+        the hierarchy.
+        """
+        cache_set = self._sets[line_addr & self._set_mask]
+        evicted = None
+        if line_addr in cache_set:
+            # Refill of a resident line: keep the existing metadata object,
+            # refreshing readiness if the new fill arrives sooner.
+            existing = cache_set.pop(line_addr)
+            existing.ready_at = min(existing.ready_at, line.ready_at)
+            cache_set[line_addr] = existing
+            return None
+        if len(cache_set) >= self.assoc:
+            victim_addr = next(iter(cache_set))
+            evicted = (victim_addr, cache_set.pop(victim_addr))
+        cache_set[line_addr] = line
+        return evicted
+
+    def invalidate(self, line_addr):
+        self._sets[line_addr & self._set_mask].pop(line_addr, None)
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0

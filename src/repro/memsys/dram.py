@@ -1,0 +1,46 @@
+"""DRAM model: fixed minimum latency plus request-based bandwidth contention.
+
+Matches the paper's Table 1 memory: 50 ns minimum latency (200 cycles at
+4 GHz) and 51.2 GB/s of bandwidth, i.e. one 64-byte line every 5 cycles.
+Requests that arrive faster than the line interval queue up, so heavy
+prefetching sees growing latency -- the "request-based contention model".
+"""
+
+from __future__ import annotations
+
+
+class Dram:
+    def __init__(self, config):
+        self.latency = config.dram_latency_cycles
+        self.line_interval = config.dram_line_interval
+        self._channel_free = 0
+        self.requests = 0
+        self.total_queue_delay = 0
+
+    def request(self, now):
+        """Issue a line fetch at cycle ``now``; returns the fill cycle."""
+        start = now if now >= self._channel_free else self._channel_free
+        self._channel_free = start + self.line_interval
+        self.requests += 1
+        self.total_queue_delay += start - now
+        return start + self.latency
+
+    def occupy(self):
+        """Claim one line-transfer slot at the earliest channel opening,
+        with no latency added.  Used by the Oracle model, which is assumed
+        to have issued its fetch early enough to hide the latency but must
+        still spend the bandwidth."""
+        start = self._channel_free
+        self._channel_free = start + self.line_interval
+        self.requests += 1
+        return start
+
+    def queue_delay_estimate(self, now):
+        """Cycles a request issued now would wait before starting."""
+        return max(0, self._channel_free - now)
+
+    @property
+    def average_queue_delay(self):
+        if self.requests == 0:
+            return 0.0
+        return self.total_queue_delay / self.requests

@@ -1,0 +1,107 @@
+"""Indirect Memory Prefetcher (IMP), after Yu et al., MICRO 2015.
+
+IMP sits at the L1-D.  It watches loads that belong to a trained striding
+stream (the *index* loads, e.g. ``A[i]``), pairs their returned values with
+subsequent cache-miss addresses, and solves for an indirect pattern
+``miss_addr = base + (index_value << shift)``.  Once a (base, shift)
+candidate has been confirmed ``confidence_threshold`` times, IMP reads
+index values ahead of the demand stream and prefetches the corresponding
+indirect lines.
+
+As in the original proposal, IMP handles a *single* level of indirection
+with a simple affine address function; multi-level chains and hashed
+indices defeat it (which is exactly the behaviour the paper relies on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .cache import LINE_SHIFT
+
+_SHIFT_CANDIDATES = (3, 2, 0)  # 8-byte, 4-byte, 1-byte element scaling
+
+
+class ImpEntry:
+    __slots__ = ("candidates", "base", "shift", "confirmed")
+
+    def __init__(self):
+        self.candidates = {}   # (base, shift) -> hit count
+        self.base = 0
+        self.shift = 0
+        self.confirmed = False
+
+
+class IndirectMemoryPrefetcher:
+    def __init__(self, config, guest_memory, l1_cache=None):
+        self.config = config
+        self.enabled = config.enabled
+        self._mem = guest_memory
+        self._l1 = l1_cache           # index values are read from the L1-D
+        self._entries = {}            # index-load pc -> ImpEntry
+        self._recent = deque(maxlen=4)  # (pc, value) of recent index loads
+        self.patterns_confirmed = 0
+        self.index_reads_blocked = 0  # lookahead index line not cached
+
+    def observe_index_load(self, pc, addr, value, stride):
+        """An index (striding) load returned ``value``.
+
+        Returns byte addresses to prefetch, or ().
+        """
+        if not self.enabled:
+            return ()
+        self._recent.append((pc, value))
+        entry = self._entries.get(pc)
+        if entry is None or not entry.confirmed or stride == 0:
+            return ()
+        prefetches = []
+        mem = self._mem
+        lookahead = self.config.distance
+        for k in range(lookahead, lookahead + self.config.degree):
+            index_addr = addr + stride * k
+            if not 0 <= index_addr < mem.size_bytes:
+                break
+            if self._l1 is not None:
+                # IMP reads ahead in the *cached* index stream; if the
+                # stride prefetcher has not brought the future index line
+                # in yet, the value is not available to it.
+                line = self._l1.peek(index_addr >> 6)
+                if line is None:
+                    self.index_reads_blocked += 1
+                    break
+            future_value = mem.words[index_addr >> 3]
+            target = entry.base + (future_value << entry.shift)
+            if 0 <= target < mem.size_bytes:
+                prefetches.append(target)
+        return prefetches
+
+    def observe_miss(self, miss_addr):
+        """Correlate a demand L1 miss address with recent index values."""
+        if not self.enabled:
+            return
+        for pc, value in self._recent:
+            entry = self._entries.get(pc)
+            if entry is None:
+                if len(self._entries) >= self.config.table_entries:
+                    self._entries.pop(next(iter(self._entries)))
+                entry = ImpEntry()
+                self._entries[pc] = entry
+            if entry.confirmed:
+                # Keep confirming / decay on systematic mismatch.
+                predicted = entry.base + (value << entry.shift)
+                if (predicted >> LINE_SHIFT) != (miss_addr >> LINE_SHIFT):
+                    continue
+            for shift in _SHIFT_CANDIDATES:
+                base = miss_addr - (value << shift)
+                key = (base, shift)
+                count = entry.candidates.get(key, 0) + 1
+                entry.candidates[key] = count
+                if count >= self.config.confidence_threshold and not entry.confirmed:
+                    entry.base, entry.shift = base, shift
+                    entry.confirmed = True
+                    self.patterns_confirmed += 1
+            if len(entry.candidates) > self.config.candidates * 8:
+                # Bound the candidate pool: keep the strongest few.
+                strongest = sorted(entry.candidates.items(),
+                                   key=lambda item: -item[1])
+                entry.candidates = dict(strongest[:self.config.candidates])

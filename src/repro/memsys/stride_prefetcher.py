@@ -1,0 +1,69 @@
+"""Always-on L1-D stride prefetcher (16 streams), paper Table 1.
+
+A classic per-PC reference prediction table: once a load PC has produced
+the same address delta ``train_threshold`` times, the prefetcher issues
+``degree`` line fetches ``distance`` strides ahead of the demand stream.
+"""
+
+from __future__ import annotations
+
+from .cache import LINE_SHIFT
+
+
+class StrideEntry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, last_addr):
+        self.last_addr = last_addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    def __init__(self, config):
+        self.config = config
+        self.enabled = config.enabled
+        self._table = {}  # pc -> StrideEntry, dict order = LRU
+        self.trained_triggers = 0
+
+    def entry(self, pc):
+        return self._table.get(pc)
+
+    def is_striding(self, pc):
+        """Is this load PC currently a confident striding stream?"""
+        entry = self._table.get(pc)
+        return (entry is not None and entry.stride != 0 and
+                entry.confidence >= self.config.train_threshold)
+
+    def observe(self, pc, addr):
+        """Train on a demand load; return byte addresses worth prefetching."""
+        if not self.enabled:
+            return ()
+        table = self._table
+        entry = table.get(pc)
+        if entry is None:
+            if len(table) >= self.config.streams:
+                del table[next(iter(table))]  # evict LRU stream
+            table[pc] = StrideEntry(addr)
+            return ()
+        # LRU refresh
+        del table[pc]
+        table[pc] = entry
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            if entry.confidence < 3:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 1 if stride != 0 else 0
+        entry.last_addr = addr
+        if entry.confidence < self.config.train_threshold or entry.stride == 0:
+            return ()
+        self.trained_triggers += 1
+        base = addr + entry.stride * self.config.distance
+        step = entry.stride
+        # Only prefetch distinct lines: small strides hit the same line.
+        line_step = max(abs(step), 1 << LINE_SHIFT) * (1 if step > 0 else -1)
+        if abs(step) >= (1 << LINE_SHIFT):
+            line_step = step
+        return tuple(base + line_step * k for k in range(self.config.degree))

@@ -1,0 +1,8 @@
+"""Baseline runahead techniques: PRE, VR, and the Oracle bound."""
+
+from .base import RunaheadEngine
+from .oracle import OracleEngine
+from .pre import PreEngine
+from .vr import VrEngine
+
+__all__ = ["OracleEngine", "PreEngine", "RunaheadEngine", "VrEngine"]

@@ -1,0 +1,32 @@
+"""Runahead engine interface shared by PRE, VR, DVR and the Oracle."""
+
+from __future__ import annotations
+
+
+class RunaheadEngine:
+    """Hook interface the :class:`~repro.uarch.core.OoOCore` drives.
+
+    Subclasses override whichever hooks they need; the defaults are all
+    no-ops, so an engine only models what it cares about.
+    """
+
+    name = "base"
+
+    def on_dispatch(self, dyn, core):
+        """Observe one main-thread instruction at dispatch (program order)."""
+
+    def on_rob_stall(self, now, head):
+        """Called every cycle dispatch is blocked by a full ROB whose head
+        is an incomplete load (the classic runahead trigger)."""
+
+    def tick(self, now, ports):
+        """Consume spare issue slots at cycle ``now``."""
+
+    def blocks_dispatch(self, now):
+        return False
+
+    def blocks_commit(self, now):
+        return False
+
+    def stats(self):
+        return {}

@@ -1,0 +1,20 @@
+"""Oracle prefetching: the paper's hypothetical upper bound.
+
+"A hypothetical technique that knows all memory accesses in advance, and
+prefetches them at the appropriate point in time to avoid stalling."  We
+model it as every demand load hitting in the L1-D (the core's
+``perfect_memory`` mode); the core still pays branch mispredictions,
+issue-width and functional-unit limits, so the Oracle is not an IPC=width
+machine -- exactly the bound the paper compares DVR against.
+"""
+
+from __future__ import annotations
+
+from .base import RunaheadEngine
+
+
+class OracleEngine(RunaheadEngine):
+    name = "oracle"
+
+    def stats(self):
+        return {}

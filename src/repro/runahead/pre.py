@@ -1,0 +1,160 @@
+"""Precise Runahead Execution (Naithani et al., HPCA 2020).
+
+Triggered by a full-ROB stall with a long-latency load at the ROB head.
+During the runahead interval (until that load's data returns) the core's
+front-end pre-executes the *future* instruction stream -- beyond the
+dispatch frontier -- issuing prefetches for loads whose address operands
+are available.  Classic runahead INV semantics apply: a load that misses
+marks its destination invalid (the data will not return within the
+interval), so loads *dependent* on a missing load cannot prefetch.  That
+is exactly the first-level-of-indirection limitation the paper leans on.
+
+PRE does not flush the pipeline on exit (no re-fill penalty) and recycles
+resources, which we model by leaving the main thread's state untouched --
+only fetch/dispatch is occupied during the interval.
+"""
+
+from __future__ import annotations
+
+from ..core.subthread import _safe_alu
+from ..isa.instructions import Op
+from ..memsys.cache import LINE_SHIFT, SRC_PRE
+from .base import RunaheadEngine
+
+_INVALID = object()
+
+
+class PreEngine(RunaheadEngine):
+    name = "pre"
+
+    def __init__(self, sim_config, program, guest_memory, hierarchy):
+        super().__init__()
+        self.config = sim_config.runahead
+        self.program = program
+        self.mem = guest_memory
+        self.hierarchy = hierarchy
+        self.active = False
+        self._exit_cycle = 0
+        self._budget = 0
+        self._regs = None          # walker registers (value or _INVALID)
+        self._pc = 0
+        self.intervals = 0
+        self.instructions_walked = 0
+        self.prefetches = 0
+
+    # ------------------------------------------------------------------
+    def on_rob_stall(self, now, head):
+        if self.active or not head.issued:
+            return
+        remaining = head.complete_cycle - now
+        if remaining < self.config.long_latency_threshold:
+            return
+        core = self._core
+        self.active = True
+        self.intervals += 1
+        self._exit_cycle = head.complete_cycle
+        self._budget = self.config.pre_max_instructions
+        self._regs = list(core.regs)
+        self._pc = core.pc
+
+    def on_dispatch(self, dyn, core):
+        self._core = core
+
+    def attach(self, core):
+        self._core = core
+
+    def blocks_dispatch(self, now):
+        # The front-end delivers runahead instructions during the interval.
+        return self.active
+
+    def tick(self, now, ports):
+        if not self.active:
+            return
+        if now >= self._exit_cycle or self._budget <= 0:
+            self.active = False
+            return
+        # The front-end supplies up to `width` future instructions/cycle.
+        steps = min(ports.width, self._budget)
+        for _ in range(steps):
+            if not self._walk_one(now):
+                self.active = False
+                return
+            self._budget -= 1
+
+    # ------------------------------------------------------------------
+    def _walk_one(self, now):
+        ins = self.program.instructions[self._pc]
+        self.instructions_walked += 1
+        op = ins.op
+        regs = self._regs
+        if op == Op.HALT:
+            return False
+        if op == Op.JMP:
+            self._pc = ins.target
+            return True
+        if ins.is_cond_branch:
+            value = regs[ins.rs1]
+            if value is _INVALID:
+                # Unknown direction: backward-taken / forward-not-taken.
+                taken = ins.target <= ins.pc
+            else:
+                taken = (value != 0) if op == Op.BNZ else (value == 0)
+            self._pc = ins.target if taken else self._pc + 1
+            return True
+        if ins.is_store:
+            self._pc += 1
+            return True
+        if ins.is_load:
+            self._load(ins, now)
+            self._pc += 1
+            return True
+        # ALU
+        valid = all(regs[r] is not _INVALID for r in ins.srcs)
+        if ins.rd >= 0:
+            if valid:
+                a = regs[ins.srcs[0]] if ins.srcs else 0
+                b = regs[ins.srcs[1]] if len(ins.srcs) > 1 else 0
+                regs[ins.rd] = _safe_alu(ins, a, b)
+            else:
+                regs[ins.rd] = _INVALID
+        self._pc += 1
+        return True
+
+    def _load(self, ins, now):
+        regs = self._regs
+        base = regs[ins.rs1]
+        if base is _INVALID:
+            if ins.rd >= 0:
+                regs[ins.rd] = _INVALID
+            return
+        if ins.op == Op.LOADX:
+            index = regs[ins.rs2]
+            if index is _INVALID:
+                if ins.rd >= 0:
+                    regs[ins.rd] = _INVALID
+                return
+            addr = base + index * ins.imm
+        else:
+            addr = base + ins.imm
+        if not 0 <= addr < self.mem.size_bytes:
+            if ins.rd >= 0:
+                regs[ins.rd] = _INVALID
+            return
+        line = self.hierarchy.l1d.peek(addr >> LINE_SHIFT)
+        if line is not None and line.ready_at <= now:
+            # Hit: the value is available to the runahead walker.
+            if ins.rd >= 0:
+                regs[ins.rd] = self.mem.words[addr >> 3]
+            return
+        # Miss (or in flight): start the prefetch, destination invalid.
+        if self.hierarchy.prefetch(addr, now, SRC_PRE):
+            self.prefetches += 1
+        if ins.rd >= 0:
+            regs[ins.rd] = _INVALID
+
+    def stats(self):
+        return {
+            "pre_intervals": self.intervals,
+            "pre_instructions_walked": self.instructions_walked,
+            "pre_prefetches": self.prefetches,
+        }

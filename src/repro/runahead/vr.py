@@ -1,0 +1,113 @@
+"""Vector Runahead (Naithani et al., ISCA 2021).
+
+Triggered -- like all prior runahead -- by a full-ROB stall with a
+long-latency load at the ROB head.  The core then enters runahead mode:
+fetch/dispatch is taken over, and when a confident striding load is
+encountered the chain from it is speculatively vectorized (64 lanes in
+our setup, matching VR's MSHR-saturating goal) and followed with
+first-lane control flow: lanes whose branches diverge from lane 0 are
+invalidated.  There is no Discovery Mode, so no loop-bound information --
+VR over-fetches past short loops -- and *delayed termination*: runahead
+only ends when the whole vectorized chain has generated its accesses,
+stalling commit even after the blocking load has returned (the paper
+measures 7.1% of execution time lost to this on average).
+
+Implementation: reuses the SIMT interpreter from ``repro.core.subthread``
+with ``FLOW_FIRST_LANE``, but runs it *coupled* -- dispatch and commit
+are blocked while it is active.
+"""
+
+from __future__ import annotations
+
+from ..core.stride_detector import StrideDetector
+from ..core.subthread import FLOW_FIRST_LANE, SubthreadStats, VectorSubthread
+from ..memsys.cache import SRC_VR
+from .base import RunaheadEngine
+
+
+class VrEngine(RunaheadEngine):
+    name = "vr"
+
+    def __init__(self, sim_config, program, guest_memory, hierarchy):
+        super().__init__()
+        self.config = sim_config.runahead
+        self.dvr_config = sim_config.dvr
+        self.detector = StrideDetector(sim_config.dvr)
+        self.subthread_stats = SubthreadStats()
+        self.subthread = VectorSubthread(
+            program, guest_memory, hierarchy, sim_config.core,
+            sim_config.dvr, source=SRC_VR, flow=FLOW_FIRST_LANE,
+            stats=self.subthread_stats)
+        self.subthread.done = True
+        self._last_stride = None   # (pc, stride, last_addr)
+        self._regs_snapshot = None
+        self.intervals = 0
+        self.delayed_termination_cycles = 0
+        self._head_returned = False
+
+    # ------------------------------------------------------------------
+    def on_dispatch(self, dyn, core):
+        ins = dyn.ins
+        if ins.is_load:
+            self.detector.observe(ins.pc, dyn.mem_addr)
+            if self.detector.is_confident(ins.pc):
+                self._last_stride = (ins.pc, dyn.mem_addr)
+                self._regs_snapshot = list(core.regs)
+
+    def on_rob_stall(self, now, head):
+        if not self.subthread.done or not head.issued:
+            return
+        if head.complete_cycle - now < self.config.long_latency_threshold:
+            return
+        if self._last_stride is None:
+            return
+        pc, last_addr = self._last_stride
+        entry = self.detector.get(pc)
+        if entry is None or entry.stride == 0:
+            return
+        if self.subthread.spawn(pc, entry.stride, last_addr,
+                                self._regs_snapshot,
+                                self.config.vr_lanes,
+                                flr_pc=-1, terminate_at_stride=True):
+            self.intervals += 1
+            self._head = head
+            self._head_returned_at = -1
+
+    def tick(self, now, ports):
+        if self.subthread.done:
+            return
+        self.subthread.step(now, ports)
+        if self.subthread.done:
+            return
+        # Delayed termination: the blocking load has returned but runahead
+        # keeps the pipeline until the accesses of the chain instruction in
+        # flight have all been *generated* (issued).  Deeper levels whose
+        # addresses are not yet computable are abandoned -- the paper bounds
+        # this stall at ~7-12% of execution time, which rules out waiting
+        # for whole multi-level chains to complete.
+        if self._head.completed:
+            self.delayed_termination_cycles += 1
+            if self._head_returned_at < 0:
+                self._head_returned_at = now
+            grace_over = (now - self._head_returned_at >
+                          self.config.vr_termination_grace)
+            if self.subthread._phase in ("wait", "fetch") or grace_over:
+                self.subthread._terminate()
+
+    def blocks_dispatch(self, now):
+        return not self.subthread.done
+
+    def blocks_commit(self, now):
+        return not self.subthread.done
+
+    def stats(self):
+        sub = self.subthread_stats
+        return {
+            "vr_intervals": self.intervals,
+            "vr_instructions": sub.instructions,
+            "vr_lane_loads": sub.lane_loads_issued,
+            "vr_lanes_spawned": sub.lanes_spawned,
+            "vr_timeouts": sub.timeouts,
+            "vr_divergences": sub.divergences,
+            "vr_delayed_termination_cycles": self.delayed_termination_cycles,
+        }

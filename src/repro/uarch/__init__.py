@@ -1,0 +1,22 @@
+"""Out-of-order core microarchitecture model."""
+
+from .core import CoreStats, NullEngine, OoOCore, SimulationLimitError
+from .trace import PipelineTrace, TraceEntry
+from .dynins import DynIns, FU_ALU, FU_DIV, FU_MEM, FU_MUL, fu_class
+from .scheduler import IssuePorts
+
+__all__ = [
+    "CoreStats",
+    "PipelineTrace",
+    "TraceEntry",
+    "DynIns",
+    "FU_ALU",
+    "FU_DIV",
+    "FU_MEM",
+    "FU_MUL",
+    "IssuePorts",
+    "NullEngine",
+    "OoOCore",
+    "SimulationLimitError",
+    "fu_class",
+]

@@ -1,0 +1,354 @@
+"""Cycle-level out-of-order core model.
+
+Timing-first, correct-path simulation: instructions execute functionally
+(in program order) at dispatch, so architectural state is always correct;
+the timing model tracks operand readiness, issue-width and FU-port
+contention, memory latency through the hierarchy, and in-order commit.
+Mispredicted conditional branches stall fetch until the branch resolves
+plus a front-end redirect penalty of ``frontend_stages`` cycles.
+
+Runahead engines (PRE / VR / DVR) attach via a small hook interface:
+
+* ``on_dispatch(dyn, core)``   -- observe the main thread's instruction
+  stream (stride detection, Discovery Mode).
+* ``on_rob_stall(now, head)``  -- called every cycle dispatch is blocked
+  by a full ROB (the classic runahead trigger).
+* ``tick(now, ports)``         -- consume spare issue slots.
+* ``blocks_dispatch/blocks_commit`` -- runahead modes that occupy the
+  front-end or delay termination.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..isa.instructions import Op
+from ..isa.machine import execute
+from ..branch.predictor import TagePredictor
+from .dynins import DynIns
+from .scheduler import IssuePorts
+
+
+class SimulationLimitError(Exception):
+    """The cycle safety limit was hit (almost certainly a model deadlock)."""
+
+
+class NullEngine:
+    """Default no-op runahead engine."""
+
+    name = "none"
+
+    def on_dispatch(self, dyn, core):
+        pass
+
+    def on_rob_stall(self, now, head):
+        pass
+
+    def tick(self, now, ports):
+        pass
+
+    def blocks_dispatch(self, now):
+        return False
+
+    def blocks_commit(self, now):
+        return False
+
+    def stats(self):
+        return {}
+
+
+class CoreStats:
+    def __init__(self):
+        self.cycles = 0
+        self.committed = 0
+        self.dispatched = 0
+        self.rob_full_cycles = 0          # dispatch blocked, ROB full
+        self.rob_full_mem_cycles = 0      # ...with an incomplete load at head
+        self.commit_blocked_runahead = 0  # delayed-termination stalls (VR)
+        self.halted = False
+        self.branch_lookups = 0
+        self.branch_mispredicts = 0
+        # CPI stack: why each cycle's commit slot group was (not) used.
+        self.cycle_breakdown = {
+            "base": 0,       # committed at least one instruction
+            "memory": 0,     # ROB head is a load waiting for data
+            "execute": 0,    # ROB head waiting on a non-load FU
+            "frontend": 0,   # ROB empty (mispredict redirect / fetch dry)
+            "runahead": 0,   # commit blocked by a runahead engine
+        }
+
+    def cpi_stack(self):
+        """Per-component cycles-per-instruction (Sniper-style CPI stack)."""
+        if self.committed == 0:
+            return {}
+        return {name: count / self.committed
+                for name, count in self.cycle_breakdown.items()}
+
+    @property
+    def ipc(self):
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def rob_full_fraction(self):
+        return self.rob_full_cycles / self.cycles if self.cycles else 0.0
+
+
+class OoOCore:
+    def __init__(self, program, guest_memory, config, hierarchy,
+                 engine=None, perfect_memory=False, trace=None):
+        self.program = program
+        self.mem = guest_memory
+        self.config = config
+        self.core_cfg = config.core
+        self.hierarchy = hierarchy
+        self.engine = engine or NullEngine()
+        self.perfect_memory = perfect_memory
+        self.trace = trace
+        self.predictor = TagePredictor(config.branch)
+        self.ports = IssuePorts(config.core)
+        self.stats = CoreStats()
+
+        self.regs = [0] * 32            # architectural state @ dispatch frontier
+        self.pc = 0
+        self.now = 0
+        self._seq = 0
+        self._rob = []                  # FIFO list of DynIns (popped from front lazily)
+        self._rob_head = 0
+        self._iq_count = 0
+        self._lq_count = 0
+        self._sq_count = 0
+        self._ready = []                # heap of (seq, DynIns)
+        self._mshr_retry = []           # loads refused by a full MSHR file
+        self._writebacks = []           # heap of (complete_cycle, seq, DynIns)
+        self._waiting_branch = None     # mispredicted branch pending resolve
+        self._fetch_resume = 0
+        self._producer_table = [None] * 32
+        self._program_done = False
+        self._l1_latency = config.memsys.l1d.latency
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions=None):
+        limit = max_instructions or self.config.max_instructions
+        max_cycles = limit * 3000 + 2_000_000
+        while self.stats.committed < limit and not self.stats.halted:
+            self.now += 1
+            if self.now > max_cycles:
+                raise SimulationLimitError(
+                    f"no forward progress: {self.stats.committed} committed "
+                    f"after {self.now} cycles")
+            self._writeback()
+            self._commit()
+            self.ports.new_cycle()
+            self._issue()
+            self.engine.tick(self.now, self.ports)
+            self._dispatch()
+            self.hierarchy.tick(self.now)
+        self.stats.cycles = self.now
+        self.stats.branch_lookups = self.predictor.lookups
+        self.stats.branch_mispredicts = self.predictor.mispredicts
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _writeback(self):
+        now = self.now
+        heap = self._writebacks
+        while heap and heap[0][0] <= now:
+            _, _, dyn = heapq.heappop(heap)
+            dyn.completed = True
+            if dyn.ins.is_load:
+                # LQ entries recycle once the data is back (commit does not
+                # need them; keeps the LQ from binding before the ROB).
+                self._lq_count -= 1
+            for dep in dyn.dependents:
+                dep.pending -= 1
+                if dep.pending == 0 and not dep.issued:
+                    heapq.heappush(self._ready, (dep.seq, dep))
+            dyn.dependents = []
+            if dyn is self._waiting_branch:
+                self._waiting_branch = None
+                self._fetch_resume = now + self.core_cfg.frontend_stages
+
+    def _commit(self):
+        committed = 0
+        width = self.core_cfg.width
+        rob, head = self._rob, self._rob_head
+        blocked_by_engine = False
+        while committed < width and head < len(rob):
+            dyn = rob[head]
+            if not dyn.completed:
+                break
+            if self.engine.blocks_commit(self.now):
+                blocked_by_engine = True
+                break
+            head += 1
+            committed += 1
+            self.stats.committed += 1
+            if dyn.ins.is_store:
+                self._sq_count -= 1
+            if dyn.ins.op == Op.HALT:
+                self.stats.halted = True
+                break
+        if blocked_by_engine and committed == 0:
+            self.stats.commit_blocked_runahead += 1
+        # CPI-stack attribution for this cycle's commit slots.
+        breakdown = self.stats.cycle_breakdown
+        if committed > 0:
+            breakdown["base"] += 1
+        elif blocked_by_engine:
+            breakdown["runahead"] += 1
+        elif head >= len(rob):
+            breakdown["frontend"] += 1
+        else:
+            stalled = rob[head]
+            if stalled.ins.is_load:
+                breakdown["memory"] += 1
+            else:
+                breakdown["execute"] += 1
+        self._rob_head = head
+        if head > 4096:  # compact the ROB list occasionally
+            del rob[:head]
+            self._rob_head = 0
+
+    def rob_occupancy(self):
+        return len(self._rob) - self._rob_head
+
+    def rob_head_instruction(self):
+        if self._rob_head < len(self._rob):
+            return self._rob[self._rob_head]
+        return None
+
+    # ------------------------------------------------------------------
+    def _issue(self):
+        ports = self.ports
+        ready = self._ready
+        if self._mshr_retry:
+            for dyn in self._mshr_retry:
+                heapq.heappush(ready, (dyn.seq, dyn))
+            self._mshr_retry = []
+        retry = []
+        attempts = 0
+        while ready and ports.spare_slots > 0 and attempts < 16:
+            attempts += 1
+            _, dyn = heapq.heappop(ready)
+            if not ports.can_issue(dyn.fu):
+                retry.append(dyn)
+                continue
+            if dyn.ins.is_load:
+                if not self._issue_load(dyn):
+                    continue  # MSHR-blocked; queued for retry
+            elif dyn.ins.is_store:
+                if self.perfect_memory:
+                    # Symmetric oracle treatment: the line is already here,
+                    # but a first touch still spends bandwidth.
+                    self.hierarchy.oracle_load(dyn.mem_addr, self.now)
+                else:
+                    self.hierarchy.demand_store(dyn.mem_addr, self.now)
+                dyn.complete_cycle = self.now + 1
+            else:
+                dyn.complete_cycle = self.now + ports.latency[dyn.fu]
+            ports.claim(dyn.fu)
+            dyn.issued = True
+            dyn.issue_cycle = self.now
+            self._iq_count -= 1
+            if self.trace is not None:
+                self.trace.on_issue(dyn, self.now)
+            heapq.heappush(self._writebacks,
+                           (dyn.complete_cycle, dyn.seq, dyn))
+        for dyn in retry:
+            heapq.heappush(ready, (dyn.seq, dyn))
+
+    def _issue_load(self, dyn):
+        if self.perfect_memory:
+            dyn.complete_cycle = self.hierarchy.oracle_load(
+                dyn.mem_addr, self.now)
+            dyn.mem_level = "L1"
+            return True
+        result = self.hierarchy.demand_load(
+            dyn.mem_addr, dyn.pc, dyn.value, self.now)
+        if result is None:
+            self._mshr_retry.append(dyn)
+            return False
+        dyn.complete_cycle = result.complete_cycle
+        dyn.mem_level = result.level
+        return True
+
+    # ------------------------------------------------------------------
+    def _dispatch(self):
+        if (self._program_done or self._waiting_branch is not None
+                or self.now < self._fetch_resume
+                or self.engine.blocks_dispatch(self.now)):
+            self._check_rob_stall()
+            return
+        cfg = self.core_cfg
+        dispatched = 0
+        while dispatched < cfg.width:
+            if self.rob_occupancy() >= cfg.rob_size:
+                self._check_rob_stall(count=True)
+                break
+            if self._iq_count >= cfg.issue_queue_size:
+                break
+            ins = self.program.instructions[self.pc]
+            if ins.is_load and self._lq_count >= cfg.load_queue_size:
+                break
+            if ins.is_store and self._sq_count >= cfg.store_queue_size:
+                break
+            dyn = DynIns(self._seq, ins, self.now)
+            self._seq += 1
+            # Operand dependence tracking (rename equivalent).
+            producers = self._producers
+            for reg in ins.srcs:
+                producer = producers[reg]
+                if producer is not None and not producer.completed:
+                    dyn.pending += 1
+                    producer.dependents.append(dyn)
+            # Functional execution at the dispatch frontier.
+            next_pc, addr = execute(ins, self.regs, self.mem)
+            dyn.mem_addr = addr
+            if ins.is_load:
+                dyn.value = self.regs[ins.rd]
+                self._lq_count += 1
+            elif ins.is_store:
+                self._sq_count += 1
+            if ins.rd >= 0:
+                producers[ins.rd] = dyn
+            self._rob.append(dyn)
+            self._iq_count += 1
+            self.stats.dispatched += 1
+            dispatched += 1
+            if dyn.pending == 0:
+                heapq.heappush(self._ready, (dyn.seq, dyn))
+            mispredicted = False
+            if ins.is_cond_branch:
+                taken = next_pc != ins.pc + 1
+                dyn.taken = taken
+                prediction, info = self.predictor.predict(ins.pc)
+                self.predictor.update(ins.pc, taken, prediction, info)
+                if prediction != taken:
+                    dyn.mispredicted = True
+                    self._waiting_branch = dyn
+                    mispredicted = True
+            self.engine.on_dispatch(dyn, self)
+            if self.trace is not None:
+                self.trace.on_dispatch(dyn, self.now)
+            self.pc = next_pc
+            if ins.op == Op.HALT:
+                self._program_done = True
+                break
+            if mispredicted:
+                break
+
+    def _check_rob_stall(self, count=False):
+        """Account a full-ROB dispatch stall and fire the runahead trigger."""
+        if not count:
+            if self.rob_occupancy() < self.core_cfg.rob_size:
+                return
+        self.stats.rob_full_cycles += 1
+        head = self.rob_head_instruction()
+        if head is not None and head.ins.is_load and not head.completed:
+            self.stats.rob_full_mem_cycles += 1
+            self.engine.on_rob_stall(self.now, head)
+
+    # Exposed for engines ------------------------------------------------
+    @property
+    def _producers(self):
+        return self._producer_table

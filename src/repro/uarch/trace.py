@@ -1,0 +1,83 @@
+"""Pipeline tracing: per-instruction event timestamps and a textual
+pipeline diagram, for debugging and for *seeing* the techniques work
+(e.g. main-thread loads turning from DRAM-latency into L1 hits once the
+DVR subthread is warm).
+"""
+
+from __future__ import annotations
+
+
+class TraceEntry:
+    __slots__ = ("seq", "pc", "name", "dispatch", "issue", "complete",
+                 "mem_level", "mispredicted")
+
+    def __init__(self, seq, pc, name, dispatch):
+        self.seq = seq
+        self.pc = pc
+        self.name = name
+        self.dispatch = dispatch
+        self.issue = -1
+        self.complete = -1
+        self.mem_level = None
+        self.mispredicted = False
+
+
+class PipelineTrace:
+    """Records the first ``limit`` dynamic instructions' pipeline events.
+
+    Attach via ``OoOCore(..., trace=PipelineTrace(200))``; render with
+    :meth:`render`.
+    """
+
+    def __init__(self, limit=200, skip=0):
+        self.limit = limit
+        self.skip = skip
+        self.entries = []
+
+    def want(self, seq):
+        return self.skip <= seq < self.skip + self.limit
+
+    def on_dispatch(self, dyn, now):
+        if self.want(dyn.seq):
+            self.entries.append(
+                TraceEntry(dyn.seq, dyn.pc, dyn.ins.name, now))
+
+    def on_issue(self, dyn, now):
+        if self.want(dyn.seq) and self.entries:
+            entry = self._find(dyn.seq)
+            if entry is not None:
+                entry.issue = now
+                entry.complete = dyn.complete_cycle
+                entry.mem_level = dyn.mem_level
+                entry.mispredicted = dyn.mispredicted
+
+    def _find(self, seq):
+        index = seq - self.skip
+        if 0 <= index < len(self.entries):
+            return self.entries[index]
+        return None
+
+    def render(self, max_rows=None):
+        """A compact waterfall: one line per instruction with dispatch /
+        issue / complete cycles and memory hit level."""
+        lines = [f"{'seq':>5s} {'pc':>4s} {'op':8s} {'disp':>8s} "
+                 f"{'issue':>8s} {'done':>8s}  notes"]
+        for entry in self.entries[:max_rows or len(self.entries)]:
+            notes = []
+            if entry.mem_level:
+                notes.append(entry.mem_level)
+            if entry.mispredicted:
+                notes.append("MISPRED")
+            lines.append(
+                f"{entry.seq:5d} {entry.pc:4d} {entry.name:8s} "
+                f"{entry.dispatch:8d} "
+                f"{entry.issue if entry.issue >= 0 else '-':>8} "
+                f"{entry.complete if entry.complete >= 0 else '-':>8}  "
+                f"{' '.join(notes)}")
+        return "\n".join(lines)
+
+    def load_latencies(self):
+        """(seq, level, issue->complete latency) for every traced load."""
+        return [(entry.seq, entry.mem_level, entry.complete - entry.issue)
+                for entry in self.entries
+                if entry.mem_level is not None and entry.issue >= 0]

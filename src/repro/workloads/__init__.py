@@ -1,0 +1,89 @@
+"""Workloads: the paper's 13 benchmarks plus graph generation.
+
+``GAP_WORKLOADS`` x ``GRAPH_INPUTS`` plus ``HPCDB_WORKLOADS`` gives every
+benchmark-input combination in the paper's evaluation (Fig 7).
+"""
+
+from .base import BuiltWorkload, Workload
+from .gap import (BetweennessCentrality, Bfs, ConnectedComponents, PageRank,
+                  Sssp)
+from .graphs import GRAPH_INPUTS, GraphSpec, build_csr, degree_stats
+from .hpcdb import (Camel, Graph500, Hj2, Hj8, Kangaroo, NasCg, NasIs,
+                    RandomAccess)
+
+GAP_WORKLOADS = {
+    "bc": BetweennessCentrality,
+    "bfs": Bfs,
+    "cc": ConnectedComponents,
+    "pr": PageRank,
+    "sssp": Sssp,
+}
+
+HPCDB_WORKLOADS = {
+    "camel": Camel,
+    "graph500": Graph500,
+    "hj2": Hj2,
+    "hj8": Hj8,
+    "kangaroo": Kangaroo,
+    "nas-cg": NasCg,
+    "nas-is": NasIs,
+    "randomaccess": RandomAccess,
+}
+
+ALL_WORKLOADS = {**GAP_WORKLOADS, **HPCDB_WORKLOADS}
+
+GRAPH_NAMES = tuple(GRAPH_INPUTS)
+
+
+def make_workload(name, graph=None, **params):
+    """Instantiate a workload by name (GAP kernels take ``graph``)."""
+    if name in GAP_WORKLOADS:
+        return GAP_WORKLOADS[name](graph=graph, **params)
+    if name in HPCDB_WORKLOADS:
+        return HPCDB_WORKLOADS[name](**params)
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def benchmark_matrix(graphs=GRAPH_NAMES, small=False):
+    """Every (label, workload) pair of the paper's Fig 7.
+
+    With ``small`` the GAP kernels run on a single input per kernel, for
+    quick runs.
+    """
+    pairs = []
+    for kernel, cls in GAP_WORKLOADS.items():
+        use = graphs if not small else (graphs[0],)
+        for graph in use:
+            pairs.append((f"{kernel}_{graph}", cls(graph=graph)))
+    for name, cls in HPCDB_WORKLOADS.items():
+        pairs.append((name, cls()))
+    return pairs
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BetweennessCentrality",
+    "Bfs",
+    "BuiltWorkload",
+    "Camel",
+    "ConnectedComponents",
+    "GAP_WORKLOADS",
+    "GRAPH_INPUTS",
+    "GRAPH_NAMES",
+    "Graph500",
+    "GraphSpec",
+    "HPCDB_WORKLOADS",
+    "Hj2",
+    "Hj8",
+    "Kangaroo",
+    "NasCg",
+    "NasIs",
+    "PageRank",
+    "RandomAccess",
+    "Sssp",
+    "Workload",
+    "benchmark_matrix",
+    "build_csr",
+    "degree_stats",
+    "make_workload",
+]

@@ -1,0 +1,45 @@
+"""Workload abstraction.
+
+A workload owns a guest program plus the guest memory image it runs on,
+and (for correctness testing) a pure-Python reference implementation.
+``build()`` is called fresh per simulation so runs never share state.
+"""
+
+from __future__ import annotations
+
+from ..isa.machine import GuestMemory
+
+
+class BuiltWorkload:
+    """A ready-to-simulate instance: program + initialized memory."""
+
+    def __init__(self, name, program, memory, metadata=None,
+                 reference_check=None):
+        self.name = name
+        self.program = program
+        self.memory = memory
+        self.metadata = metadata or {}
+        # Optional callable (memory) -> bool validating final guest state
+        # after a *functional* run to completion.
+        self.reference_check = reference_check
+
+
+class Workload:
+    """Factory for :class:`BuiltWorkload` instances."""
+
+    name = "workload"
+    #: domain tag: "gap" (graph analytics) or "hpc-db"
+    domain = "hpc-db"
+
+    def __init__(self, **params):
+        self.params = params
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345):
+        """Assemble the program and initialize guest memory."""
+        raise NotImplementedError
+
+    def _new_memory(self, memory_bytes):
+        return GuestMemory(memory_bytes)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.params}>"

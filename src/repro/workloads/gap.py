@@ -1,0 +1,579 @@
+"""GAP benchmark-suite kernels (paper Section 5): bc, bfs, cc, pr, sssp.
+
+Each kernel is hand-written guest assembly whose dynamic instruction
+stream matches the paper's description: an outer striding load over a
+worklist / vertex range, an inner striding load over the adjacency list
+(bottom-tested, as compilers emit for hot loops), and data-dependent
+indirect loads and branches off the neighbour id.  Initialization phases
+are skipped the way the paper uses Sniper's ROI markers: the builder runs
+the algorithm host-side until the frontier is representative and starts
+the guest mid-traversal.
+
+Every workload carries a ``reference_check`` that re-runs the algorithm
+in plain Python from the same initial state and compares final guest
+memory -- an end-to-end correctness check of ISA, assembler and kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.assembler import Assembler
+from .base import BuiltWorkload, Workload
+from .graphs import GRAPH_INPUTS, bfs_frontier, build_csr, pick_source
+
+_DIST_INF = 1 << 40
+
+
+class GapWorkload(Workload):
+    domain = "gap"
+    graph_default = "KR"
+
+    def __init__(self, graph=None, seed=12345):
+        super().__init__(graph=graph or self.graph_default, seed=seed)
+        self.graph = graph or self.graph_default
+        self.seed = seed
+
+    @property
+    def spec(self):
+        return GRAPH_INPUTS[self.graph]
+
+    def _load_graph(self):
+        return build_csr(self.spec, seed=self.seed)
+
+    def _alloc_csr(self, mem, offsets, neighbors):
+        base_off = mem.alloc_array(offsets, "offsets")
+        base_ngh = mem.alloc_array(neighbors, "neighbors")
+        return base_off, base_ngh
+
+
+# ---------------------------------------------------------------------------
+# Breadth-First Search (Algorithm 1 of the paper)
+# ---------------------------------------------------------------------------
+class Bfs(GapWorkload):
+    name = "bfs"
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345):
+        offsets, neighbors = self._load_graph()
+        num_nodes = len(offsets) - 1
+        source = pick_source(offsets, rng_seed=seed)
+        visited_init, frontier = bfs_frontier(offsets, neighbors, source)
+
+        mem = self._new_memory(memory_bytes)
+        base_off, base_ngh = self._alloc_csr(mem, offsets, neighbors)
+        visited = np.zeros(num_nodes, dtype=np.int64)
+        visited[visited_init] = 1
+        base_vis = mem.alloc_array(visited, "visited")
+        base_par = mem.alloc_array(np.full(num_nodes, -1, dtype=np.int64),
+                                   "parent")
+        worklist = np.zeros(num_nodes + 64, dtype=np.int64)
+        worklist[:len(frontier)] = frontier
+        base_wl = mem.alloc_array(worklist, "worklist")
+
+        program = _bfs_program(base_wl, base_vis, base_par, base_off,
+                               base_ngh, tail=len(frontier))
+        initial_visited = visited.copy()
+
+        def reference_check(final_mem):
+            expect_vis, _ = _ref_bfs(offsets, neighbors, initial_visited,
+                                     list(frontier))
+            got = final_mem.read_array(base_vis, num_nodes)
+            return list(expect_vis) == got
+
+        return BuiltWorkload(
+            f"{self.name}_{self.graph}", program, mem,
+            metadata={"graph": self.graph, "nodes": num_nodes,
+                      "edges": len(neighbors), "frontier": len(frontier)},
+            reference_check=reference_check)
+
+
+def _bfs_program(base_wl, base_vis, base_par, base_off, base_ngh, tail):
+    a = Assembler("bfs")
+    wl, vis, par, off, ngh = (a.alias("rWl", 1), a.alias("rVis", 2),
+                              a.alias("rPar", 3), a.alias("rOff", 4),
+                              a.alias("rNgh", 5))
+    for name, reg in [("rIdx", 6), ("rTail", 7), ("rU", 8), ("rS", 9),
+                      ("rE", 10), ("rJ", 11), ("rV", 12), ("rT", 13),
+                      ("rC", 14), ("rOne", 15)]:
+        a.alias(name, reg)
+    a.li("rWl", base_wl)
+    a.li("rVis", base_vis)
+    a.li("rPar", base_par)
+    a.li("rOff", base_off)
+    a.li("rNgh", base_ngh)
+    a.li("rIdx", 0)
+    a.li("rTail", tail)
+    a.li("rOne", 1)
+    a.label("outer")
+    a.cmplt("rC", "rIdx", "rTail")
+    a.bez("rC", "done")
+    a.loadx("rU", "rWl", "rIdx")      # u = worklist[idx]   (outer stride)
+    a.addi("rIdx", "rIdx", 1)
+    a.loadx("rS", "rOff", "rU")       # s = offsets[u]
+    a.addi("rT", "rU", 1)
+    a.loadx("rE", "rOff", "rT")       # e = offsets[u+1]
+    a.mov("rJ", "rS")
+    a.cmplt("rC", "rJ", "rE")
+    a.bez("rC", "outer")              # empty adjacency list
+    a.label("inner")
+    a.loadx("rV", "rNgh", "rJ")       # v = neighbors[j]    (inner stride)
+    a.addi("rJ", "rJ", 1)
+    a.loadx("rT", "rVis", "rV")       # visited[v]?
+    a.bnz("rT", "skip")
+    a.storex("rOne", "rVis", "rV")    # visited[v] = 1
+    a.storex("rU", "rPar", "rV")      # parent[v] = u
+    a.storex("rV", "rWl", "rTail")    # worklist[tail++] = v
+    a.addi("rTail", "rTail", 1)
+    a.label("skip")
+    a.cmplt("rC", "rJ", "rE")
+    a.bnz("rC", "inner")              # bottom-tested backward branch
+    a.jmp("outer")
+    a.label("done")
+    a.halt()
+    return a.build()
+
+
+def _ref_bfs(offsets, neighbors, visited_init, frontier):
+    visited = list(visited_init)
+    parent = {}
+    worklist = list(frontier)
+    idx = 0
+    while idx < len(worklist):
+        u = worklist[idx]
+        idx += 1
+        for j in range(offsets[u], offsets[u + 1]):
+            v = int(neighbors[j])
+            if not visited[v]:
+                visited[v] = 1
+                parent[v] = u
+                worklist.append(v)
+    return visited, parent
+
+
+# ---------------------------------------------------------------------------
+# PageRank (pull-based, one iteration; contributions precomputed)
+# ---------------------------------------------------------------------------
+class PageRank(GapWorkload):
+    name = "pr"
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345):
+        offsets, neighbors = self._load_graph()
+        num_nodes = len(offsets) - 1
+        rng = np.random.default_rng(seed)
+        contrib = rng.integers(1, 1000, size=num_nodes).astype(np.int64)
+
+        mem = self._new_memory(memory_bytes)
+        base_off, base_ngh = self._alloc_csr(mem, offsets, neighbors)
+        base_contrib = mem.alloc_array(contrib, "contrib")
+        base_rank = mem.alloc_array(np.zeros(num_nodes, dtype=np.int64),
+                                    "rank")
+        program = _pr_program(base_off, base_ngh, base_contrib, base_rank,
+                              num_nodes)
+
+        def reference_check(final_mem):
+            expect = _ref_pr(offsets, neighbors, contrib)
+            got = final_mem.read_array(base_rank, num_nodes)
+            return expect == got
+
+        return BuiltWorkload(
+            f"{self.name}_{self.graph}", program, mem,
+            metadata={"graph": self.graph, "nodes": num_nodes,
+                      "edges": len(neighbors)},
+            reference_check=reference_check)
+
+
+def _pr_program(base_off, base_ngh, base_contrib, base_rank, num_nodes):
+    a = Assembler("pr")
+    for name, reg in [("rOff", 1), ("rNgh", 2), ("rCon", 3), ("rRank", 4),
+                      ("rV", 5), ("rN", 6), ("rS", 7), ("rE", 8),
+                      ("rSum", 9), ("rT", 10), ("rC", 11), ("rU", 12)]:
+        a.alias(name, reg)
+    a.li("rOff", base_off)
+    a.li("rNgh", base_ngh)
+    a.li("rCon", base_contrib)
+    a.li("rRank", base_rank)
+    a.li("rV", 0)
+    a.li("rN", num_nodes)
+    a.label("vloop")
+    a.loadx("rS", "rOff", "rV")       # outer stride
+    a.addi("rT", "rV", 1)
+    a.loadx("rE", "rOff", "rT")
+    a.li("rSum", 0)
+    a.cmplt("rC", "rS", "rE")
+    a.bez("rC", "vdone")
+    a.label("inner")
+    a.loadx("rU", "rNgh", "rS")       # inner stride
+    a.addi("rS", "rS", 1)
+    a.loadx("rT", "rCon", "rU")       # contrib[neighbor]
+    a.add("rSum", "rSum", "rT")
+    a.cmplt("rC", "rS", "rE")
+    a.bnz("rC", "inner")
+    a.label("vdone")
+    a.muli("rSum", "rSum", 870)       # rank = base + 0.85 * sum
+    a.shri("rSum", "rSum", 10)        # (fixed-point 870/1024)
+    a.addi("rSum", "rSum", 150)
+    a.storex("rSum", "rRank", "rV")
+    a.addi("rV", "rV", 1)
+    a.cmplt("rC", "rV", "rN")
+    a.bnz("rC", "vloop")
+    a.halt()
+    return a.build()
+
+
+def _ref_pr(offsets, neighbors, contrib):
+    ranks = []
+    for v in range(len(offsets) - 1):
+        total = 0
+        for j in range(offsets[v], offsets[v + 1]):
+            total += int(contrib[neighbors[j]])
+        ranks.append(((total * 870) >> 10) + 150)
+    return ranks
+
+
+# ---------------------------------------------------------------------------
+# Connected Components (one label-propagation sweep)
+# ---------------------------------------------------------------------------
+class ConnectedComponents(GapWorkload):
+    name = "cc"
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345):
+        offsets, neighbors = self._load_graph()
+        num_nodes = len(offsets) - 1
+        mem = self._new_memory(memory_bytes)
+        base_off, base_ngh = self._alloc_csr(mem, offsets, neighbors)
+        base_comp = mem.alloc_array(np.arange(num_nodes, dtype=np.int64),
+                                    "comp")
+        program = _cc_program(base_off, base_ngh, base_comp, num_nodes)
+
+        def reference_check(final_mem):
+            expect = _ref_cc(offsets, neighbors)
+            got = final_mem.read_array(base_comp, num_nodes)
+            return expect == got
+
+        return BuiltWorkload(
+            f"{self.name}_{self.graph}", program, mem,
+            metadata={"graph": self.graph, "nodes": num_nodes,
+                      "edges": len(neighbors)},
+            reference_check=reference_check)
+
+
+def _cc_program(base_off, base_ngh, base_comp, num_nodes):
+    a = Assembler("cc")
+    for name, reg in [("rOff", 1), ("rNgh", 2), ("rComp", 3), ("rV", 4),
+                      ("rN", 5), ("rS", 6), ("rE", 7), ("rLbl", 8),
+                      ("rU", 9), ("rT", 10), ("rC", 11)]:
+        a.alias(name, reg)
+    a.li("rOff", base_off)
+    a.li("rNgh", base_ngh)
+    a.li("rComp", base_comp)
+    a.li("rV", 0)
+    a.li("rN", num_nodes)
+    a.label("vloop")
+    a.loadx("rS", "rOff", "rV")       # outer stride
+    a.addi("rT", "rV", 1)
+    a.loadx("rE", "rOff", "rT")
+    a.loadx("rLbl", "rComp", "rV")
+    a.cmplt("rC", "rS", "rE")
+    a.bez("rC", "vdone")
+    a.label("inner")
+    a.loadx("rU", "rNgh", "rS")       # inner stride
+    a.addi("rS", "rS", 1)
+    a.loadx("rT", "rComp", "rU")      # neighbour's label (indirect)
+    a.cmplt("rC", "rT", "rLbl")
+    a.bez("rC", "cskip")
+    a.mov("rLbl", "rT")               # adopt smaller label
+    a.label("cskip")
+    a.cmplt("rC", "rS", "rE")
+    a.bnz("rC", "inner")
+    a.label("vdone")
+    a.storex("rLbl", "rComp", "rV")
+    a.addi("rV", "rV", 1)
+    a.cmplt("rC", "rV", "rN")
+    a.bnz("rC", "vloop")
+    a.halt()
+    return a.build()
+
+
+def _ref_cc(offsets, neighbors):
+    num_nodes = len(offsets) - 1
+    comp = list(range(num_nodes))
+    for v in range(num_nodes):
+        label = comp[v]
+        for j in range(offsets[v], offsets[v + 1]):
+            other = comp[int(neighbors[j])]
+            if other < label:
+                label = other
+        comp[v] = label
+    return comp
+
+
+# ---------------------------------------------------------------------------
+# Single-Source Shortest Path (label-correcting / Bellman-Ford queue)
+# ---------------------------------------------------------------------------
+class Sssp(GapWorkload):
+    name = "sssp"
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345,
+              worklist_slack=8):
+        offsets, neighbors = self._load_graph()
+        num_nodes = len(offsets) - 1
+        rng = np.random.default_rng(seed + 1)
+        weights = rng.integers(1, 64, size=len(neighbors)).astype(np.int64)
+        source = pick_source(offsets, rng_seed=seed)
+        visited_init, frontier = bfs_frontier(offsets, neighbors, source)
+
+        # Mirror the paper's ROI skipping: host-side relaxation up to the
+        # frontier level so the guest starts with a busy worklist.
+        dist = np.full(num_nodes, _DIST_INF, dtype=np.int64)
+        dist[source] = 0
+        _ref_sssp_seed(offsets, neighbors, weights, dist, source,
+                       set(int(v) for v in frontier))
+
+        mem = self._new_memory(memory_bytes)
+        base_off, base_ngh = self._alloc_csr(mem, offsets, neighbors)
+        base_wgt = mem.alloc_array(weights, "weights")
+        base_dist = mem.alloc_array(dist, "dist")
+        capacity = num_nodes * worklist_slack + 64
+        worklist = np.zeros(capacity, dtype=np.int64)
+        worklist[:len(frontier)] = frontier
+        base_wl = mem.alloc_array(worklist, "worklist")
+        program = _sssp_program(base_wl, base_dist, base_off, base_ngh,
+                                base_wgt, tail=len(frontier))
+        dist_init = dist.copy()
+
+        def reference_check(final_mem):
+            expect = _ref_sssp(offsets, neighbors, weights, dist_init,
+                               list(frontier))
+            got = final_mem.read_array(base_dist, num_nodes)
+            return expect == got
+
+        return BuiltWorkload(
+            f"{self.name}_{self.graph}", program, mem,
+            metadata={"graph": self.graph, "nodes": num_nodes,
+                      "edges": len(neighbors), "frontier": len(frontier)},
+            reference_check=reference_check)
+
+
+def _sssp_program(base_wl, base_dist, base_off, base_ngh, base_wgt, tail):
+    a = Assembler("sssp")
+    for name, reg in [("rWl", 1), ("rDist", 2), ("rOff", 3), ("rNgh", 4),
+                      ("rWgt", 5), ("rIdx", 6), ("rTail", 7), ("rU", 8),
+                      ("rDu", 9), ("rS", 10), ("rE", 11), ("rV", 12),
+                      ("rW", 13), ("rDv", 14), ("rT", 15), ("rC", 16)]:
+        a.alias(name, reg)
+    a.li("rWl", base_wl)
+    a.li("rDist", base_dist)
+    a.li("rOff", base_off)
+    a.li("rNgh", base_ngh)
+    a.li("rWgt", base_wgt)
+    a.li("rIdx", 0)
+    a.li("rTail", tail)
+    a.label("outer")
+    a.cmplt("rC", "rIdx", "rTail")
+    a.bez("rC", "done")
+    a.loadx("rU", "rWl", "rIdx")      # outer stride
+    a.addi("rIdx", "rIdx", 1)
+    a.loadx("rDu", "rDist", "rU")
+    a.loadx("rS", "rOff", "rU")
+    a.addi("rT", "rU", 1)
+    a.loadx("rE", "rOff", "rT")
+    a.cmplt("rC", "rS", "rE")
+    a.bez("rC", "outer")
+    a.label("inner")
+    a.loadx("rV", "rNgh", "rS")       # inner stride
+    a.loadx("rW", "rWgt", "rS")
+    a.addi("rS", "rS", 1)
+    a.loadx("rDv", "rDist", "rV")     # indirect
+    a.add("rT", "rDu", "rW")
+    a.cmplt("rC", "rT", "rDv")
+    a.bez("rC", "sskip")
+    a.storex("rT", "rDist", "rV")     # relax
+    a.storex("rV", "rWl", "rTail")
+    a.addi("rTail", "rTail", 1)
+    a.label("sskip")
+    a.cmplt("rC", "rS", "rE")
+    a.bnz("rC", "inner")
+    a.jmp("outer")
+    a.label("done")
+    a.halt()
+    return a.build()
+
+
+def _ref_sssp_seed(offsets, neighbors, weights, dist, source, frontier_set):
+    """Host-side relaxation of everything *before* the frontier so the
+    guest's starting distances are consistent."""
+    import heapq
+    heap = [(0, source)]
+    settled = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled or u in frontier_set:
+            continue
+        settled.add(u)
+        for j in range(offsets[u], offsets[u + 1]):
+            v = int(neighbors[j])
+            nd = d + int(weights[j])
+            if nd < dist[v]:
+                dist[v] = nd
+                if v not in frontier_set:
+                    heapq.heappush(heap, (nd, v))
+
+
+def _ref_sssp(offsets, neighbors, weights, dist_init, frontier):
+    dist = list(dist_init)
+    worklist = list(frontier)
+    idx = 0
+    while idx < len(worklist):
+        u = worklist[idx]
+        idx += 1
+        du = dist[u]
+        for j in range(offsets[u], offsets[u + 1]):
+            v = int(neighbors[j])
+            nd = du + int(weights[j])
+            if nd < dist[v]:
+                dist[v] = nd
+                worklist.append(v)
+    return dist
+
+
+# ---------------------------------------------------------------------------
+# Betweenness Centrality (Brandes forward phase: depths + path counts)
+# ---------------------------------------------------------------------------
+class BetweennessCentrality(GapWorkload):
+    name = "bc"
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345):
+        offsets, neighbors = self._load_graph()
+        num_nodes = len(offsets) - 1
+        source = pick_source(offsets, rng_seed=seed)
+        depth, sigma, frontier = _ref_bc_seed(offsets, neighbors, source)
+
+        mem = self._new_memory(memory_bytes)
+        base_off, base_ngh = self._alloc_csr(mem, offsets, neighbors)
+        base_dep = mem.alloc_array(depth, "depth")
+        base_sig = mem.alloc_array(sigma, "sigma")
+        worklist = np.zeros(num_nodes + 64, dtype=np.int64)
+        worklist[:len(frontier)] = frontier
+        base_wl = mem.alloc_array(worklist, "worklist")
+        program = _bc_program(base_wl, base_sig, base_dep, base_off,
+                              base_ngh, tail=len(frontier))
+        depth_init, sigma_init = depth.copy(), sigma.copy()
+
+        def reference_check(final_mem):
+            exp_dep, exp_sig = _ref_bc(offsets, neighbors, depth_init,
+                                       sigma_init, list(frontier))
+            got_dep = final_mem.read_array(base_dep, num_nodes)
+            got_sig = final_mem.read_array(base_sig, num_nodes)
+            return exp_dep == got_dep and exp_sig == got_sig
+
+        return BuiltWorkload(
+            f"{self.name}_{self.graph}", program, mem,
+            metadata={"graph": self.graph, "nodes": num_nodes,
+                      "edges": len(neighbors), "frontier": len(frontier)},
+            reference_check=reference_check)
+
+
+def _bc_program(base_wl, base_sig, base_dep, base_off, base_ngh, tail):
+    a = Assembler("bc")
+    for name, reg in [("rWl", 1), ("rSig", 2), ("rDep", 3), ("rOff", 4),
+                      ("rNgh", 5), ("rIdx", 6), ("rTail", 7), ("rU", 8),
+                      ("rSu", 9), ("rDn", 10), ("rS", 11), ("rE", 12),
+                      ("rV", 13), ("rT", 14), ("rC", 15), ("rT2", 16)]:
+        a.alias(name, reg)
+    a.li("rWl", base_wl)
+    a.li("rSig", base_sig)
+    a.li("rDep", base_dep)
+    a.li("rOff", base_off)
+    a.li("rNgh", base_ngh)
+    a.li("rIdx", 0)
+    a.li("rTail", tail)
+    a.label("outer")
+    a.cmplt("rC", "rIdx", "rTail")
+    a.bez("rC", "done")
+    a.loadx("rU", "rWl", "rIdx")      # outer stride
+    a.addi("rIdx", "rIdx", 1)
+    a.loadx("rSu", "rSig", "rU")      # sigma[u]
+    a.loadx("rDn", "rDep", "rU")      # depth[u]
+    a.addi("rDn", "rDn", 1)           # children's depth
+    a.loadx("rS", "rOff", "rU")
+    a.addi("rT", "rU", 1)
+    a.loadx("rE", "rOff", "rT")
+    a.cmplt("rC", "rS", "rE")
+    a.bez("rC", "outer")
+    a.label("inner")
+    a.loadx("rV", "rNgh", "rS")       # inner stride
+    a.addi("rS", "rS", 1)
+    a.loadx("rT", "rDep", "rV")       # depth[v] (indirect)
+    a.cmplti("rC", "rT", 0)
+    a.bez("rC", "maybe_sibling")
+    a.storex("rDn", "rDep", "rV")     # first visit: set depth
+    a.storex("rSu", "rSig", "rV")     # inherit path count
+    a.storex("rV", "rWl", "rTail")
+    a.addi("rTail", "rTail", 1)
+    a.jmp("bcskip")
+    a.label("maybe_sibling")
+    a.cmpeq("rC", "rT", "rDn")        # another shortest path to v?
+    a.bez("rC", "bcskip")
+    a.loadx("rT2", "rSig", "rV")
+    a.add("rT2", "rT2", "rSu")
+    a.storex("rT2", "rSig", "rV")     # sigma[v] += sigma[u]
+    a.label("bcskip")
+    a.cmplt("rC", "rS", "rE")
+    a.bnz("rC", "inner")
+    a.jmp("outer")
+    a.label("done")
+    a.halt()
+    return a.build()
+
+
+def _ref_bc_seed(offsets, neighbors, source):
+    """Host-side Brandes forward phase up to a representative frontier."""
+    num_nodes = len(offsets) - 1
+    depth = np.full(num_nodes, -1, dtype=np.int64)
+    sigma = np.zeros(num_nodes, dtype=np.int64)
+    depth[source] = 0
+    sigma[source] = 1
+    worklist = [source]
+    idx = 0
+    level_start = 0
+    frontier = [source]
+    while idx < len(worklist):
+        if idx == level_start:
+            frontier = worklist[level_start:]
+            if len(frontier) >= 64:
+                # This level is representative: the guest processes it.
+                return depth, sigma, np.array(frontier, dtype=np.int64)
+            level_start = len(worklist)
+        u = worklist[idx]
+        idx += 1
+        du = depth[u]
+        for j in range(offsets[u], offsets[u + 1]):
+            v = int(neighbors[j])
+            if depth[v] < 0:
+                depth[v] = du + 1
+                sigma[v] = sigma[u]
+                worklist.append(v)
+            elif depth[v] == du + 1:
+                sigma[v] += sigma[u]
+    return depth, sigma, np.array(frontier, dtype=np.int64)
+
+
+def _ref_bc(offsets, neighbors, depth_init, sigma_init, frontier):
+    depth = list(depth_init)
+    sigma = list(sigma_init)
+    worklist = list(frontier)
+    idx = 0
+    while idx < len(worklist):
+        u = worklist[idx]
+        idx += 1
+        du1 = depth[u] + 1
+        su = sigma[u]
+        for j in range(offsets[u], offsets[u + 1]):
+            v = int(neighbors[j])
+            if depth[v] < 0:
+                depth[v] = du1
+                sigma[v] = su
+                worklist.append(v)
+            elif depth[v] == du1:
+                sigma[v] += su
+    return depth, sigma

@@ -1,0 +1,158 @@
+"""Graph generation for the GAP-suite workloads (paper Table 2).
+
+The paper uses five inputs: Kron (Graph500 Kronecker), LiveJournal, Orkut,
+Twitter, and Urand.  The three real social networks are not available
+offline, so each is substituted by an RMAT graph whose skew and average
+degree are matched to the original's published character (power-law degree
+distribution for TW/LJN, dense community structure for ORK), scaled down
+to simulator-friendly sizes.  What DVR's behaviour depends on -- the
+distribution of inner-loop (adjacency-list) lengths and cache-defeating
+neighbour access -- is preserved.
+
+CSR layout: ``offsets`` (n+1 words) and ``neighbors`` (m words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Named graph input (one row of Table 2, scaled)."""
+
+    name: str
+    kind: str          # "rmat" or "uniform"
+    log2_nodes: int
+    avg_degree: int
+    a: float = 0.57    # RMAT quadrant probabilities (Graph500 defaults)
+    b: float = 0.19
+    c: float = 0.19
+
+    @property
+    def num_nodes(self):
+        return 1 << self.log2_nodes
+
+    @property
+    def num_edges(self):
+        return self.num_nodes * self.avg_degree
+
+
+# Scaled-down stand-ins for Table 2.  Skew (RMAT `a`) and density are
+# matched to each input's character: Kron/Graph500 use the Graph500
+# parameters, Twitter is the most skewed, Orkut the densest, Urand uniform.
+GRAPH_INPUTS = {
+    "KR": GraphSpec("KR", "rmat", 16, 16, a=0.57, b=0.19, c=0.19),
+    "LJN": GraphSpec("LJN", "rmat", 14, 14, a=0.48, b=0.22, c=0.22),
+    "ORK": GraphSpec("ORK", "rmat", 13, 38, a=0.45, b=0.22, c=0.22),
+    "TW": GraphSpec("TW", "rmat", 15, 24, a=0.62, b=0.17, c=0.17),
+    "UR": GraphSpec("UR", "uniform", 16, 16),
+}
+
+_csr_cache = {}
+
+
+def uniform_edges(num_nodes, num_edges, rng):
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    return src, dst
+
+
+def rmat_edges(log2_nodes, num_edges, rng, a, b, c):
+    """Vectorized RMAT generator (recursive quadrant descent)."""
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab if ab > 0 else 0.5
+    c_norm = c / (1.0 - ab) if ab < 1.0 else 0.5
+    for _ in range(log2_nodes):
+        src <<= 1
+        dst <<= 1
+        go_down = rng.random(num_edges) > ab        # bottom half (src bit 1)
+        r2 = rng.random(num_edges)
+        right_top = r2 > a_norm                      # dst bit within top
+        right_bottom = r2 > c_norm                   # dst bit within bottom
+        src += go_down
+        dst += np.where(go_down, right_bottom, right_top)
+    return src, dst
+
+
+def build_csr(spec, seed=12345):
+    """Build (offsets, neighbors) int64 numpy arrays for a GraphSpec.
+
+    Results are memoized per (spec, seed): graph construction is pure, and
+    every simulated technique re-builds its workload from scratch.
+    """
+    key = (spec, seed)
+    cached = _csr_cache.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(seed ^ hash(spec.name) & 0xFFFF)
+    if spec.kind == "uniform":
+        src, dst = uniform_edges(spec.num_nodes, spec.num_edges, rng)
+    elif spec.kind == "rmat":
+        src, dst = rmat_edges(spec.log2_nodes, spec.num_edges, rng,
+                              spec.a, spec.b, spec.c)
+    else:
+        raise ValueError(f"unknown graph kind {spec.kind!r}")
+    order = np.argsort(src, kind="stable")
+    src = src[order]
+    dst = dst[order]
+    counts = np.bincount(src, minlength=spec.num_nodes)
+    offsets = np.zeros(spec.num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    result = (offsets, dst.copy())
+    _csr_cache[key] = result
+    return result
+
+
+def degree_stats(offsets):
+    degrees = np.diff(offsets)
+    return {
+        "max_degree": int(degrees.max()) if len(degrees) else 0,
+        "mean_degree": float(degrees.mean()) if len(degrees) else 0.0,
+        "p99_degree": int(np.percentile(degrees, 99)) if len(degrees) else 0,
+        "frac_small": float((degrees < 8).mean()) if len(degrees) else 0.0,
+    }
+
+
+def bfs_frontier(offsets, neighbors, source=0, min_frontier=64):
+    """Host-side BFS used to skip the initialization phase (the paper's
+    ROI marker): returns (visited_vertices, frontier) where ``frontier``
+    is the first BFS level with at least ``min_frontier`` vertices."""
+    offsets_list = offsets
+    visited = np.zeros(len(offsets) - 1, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    seen = [source]
+    while len(frontier):
+        starts = offsets_list[frontier]
+        ends = offsets_list[frontier + 1]
+        nxt = []
+        for start, end in zip(starts, ends):
+            nxt.append(neighbors[start:end])
+        if not nxt:
+            break
+        candidates = np.unique(np.concatenate(nxt)) if nxt else frontier[:0]
+        new = candidates[~visited[candidates]]
+        if len(new) == 0:
+            break
+        visited[new] = True
+        if len(new) >= min_frontier:
+            return np.flatnonzero(visited), new
+        seen.extend(new.tolist())
+        frontier = new
+    return np.flatnonzero(visited), frontier
+
+
+def pick_source(offsets, rng_seed=7):
+    """A source vertex with non-trivial degree (GAP picks random sources
+    but rejects isolated ones)."""
+    degrees = np.diff(offsets)
+    candidates = np.flatnonzero(degrees >= max(2, degrees.mean()))
+    if len(candidates) == 0:
+        return int(np.argmax(degrees))
+    rng = np.random.default_rng(rng_seed)
+    return int(rng.choice(candidates))

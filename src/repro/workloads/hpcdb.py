@@ -1,0 +1,535 @@
+"""The hpc-db workloads (paper Section 5): Camel, Graph500, HJ2, HJ8,
+Kangaroo, NAS-CG, NAS-IS, and RandomAccess.
+
+These are the database / HPC kernels used by the Vector Runahead line of
+work.  Where the original source is not available offline, the kernel is
+reconstructed from its published description (see DESIGN.md):
+
+* **Camel** -- the paper's Figure 1 pattern verbatim:
+  ``C[hash(B[hash(A[i])])]++`` (two levels of hashed indirection).
+* **Graph500** -- top-down BFS on a Graph500 Kronecker graph (the paper's
+  Algorithm 1); reuses the GAP BFS kernel on the KR input.
+* **HJ2 / HJ8** -- hash-join probe with two / eight hash probes per key.
+* **Kangaroo** -- two-table cuckoo-style probe with a displacement hop
+  (miss in table 1 -> rehash into table 2).
+* **NAS-CG** -- the sparse matrix-vector inner product ``sum +=
+  a[j] * x[col[j]]``.
+* **NAS-IS** -- integer-sort bucket counting ``count[key[i]]++``.
+* **RandomAccess** -- HPCC GUPS: ``table[ran[i] & mask] ^= ran[i]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.assembler import Assembler
+from ..isa.instructions import hash64
+from .base import BuiltWorkload, Workload
+from .gap import Bfs
+
+
+class Camel(Workload):
+    """Figure 1: two-level hashed indirect histogram update."""
+
+    name = "camel"
+    domain = "hpc-db"
+
+    def __init__(self, num_keys=1 << 16, log2_table=18, seed=12345):
+        super().__init__(num_keys=num_keys, log2_table=log2_table, seed=seed)
+        self.num_keys = num_keys
+        self.log2_table = log2_table
+        self.seed = seed
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=None):
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        table_size = 1 << self.log2_table
+        mask = table_size - 1
+        a_vals = rng.integers(0, 1 << 30, size=self.num_keys).astype(np.int64)
+        b_vals = rng.integers(0, 1 << 30, size=table_size).astype(np.int64)
+
+        mem = self._new_memory(memory_bytes)
+        base_a = mem.alloc_array(a_vals, "A")
+        base_b = mem.alloc_array(b_vals, "B")
+        base_c = mem.alloc_array(np.zeros(table_size, dtype=np.int64), "C")
+
+        a = Assembler("camel")
+        for name, reg in [("rA", 1), ("rB", 2), ("rC", 3), ("rI", 4),
+                          ("rN", 5), ("rT", 6), ("rH", 7), ("rM", 8),
+                          ("rCnd", 9)]:
+            a.alias(name, reg)
+        a.li("rA", base_a)
+        a.li("rB", base_b)
+        a.li("rC", base_c)
+        a.li("rI", 0)
+        a.li("rN", self.num_keys)
+        a.li("rM", mask)
+        a.alias("rT2", 10)
+        a.label("loop")
+        a.loadx("rT", "rA", "rI")     # A[i]            (striding)
+        a.hash("rH", "rT")            # hash: mixer + finalization chain,
+        a.shri("rT2", "rH", 13)       # as the x86 kernels compute it
+        a.xor("rH", "rH", "rT2")
+        a.and_("rH", "rH", "rM")
+        a.loadx("rT", "rB", "rH")     # B[hash(A[i])]   (indirect 1)
+        a.hash("rH", "rT")
+        a.shri("rT2", "rH", 13)
+        a.xor("rH", "rH", "rT2")
+        a.and_("rH", "rH", "rM")
+        a.loadx("rT", "rC", "rH")     # C[hash(...)]    (indirect 2)
+        a.addi("rT", "rT", 1)
+        a.storex("rT", "rC", "rH")    # ...++
+        a.addi("rI", "rI", 1)
+        a.cmplt("rCnd", "rI", "rN")
+        a.bnz("rCnd", "loop")
+        a.halt()
+        program = a.build()
+
+        def _mix(value):
+            h = hash64(value)
+            return (h ^ ((h & ((1 << 64) - 1)) >> 13)) & mask
+
+        def reference_check(final_mem):
+            expect = [0] * table_size
+            for value in a_vals.tolist():
+                h1 = _mix(value)
+                h2 = _mix(int(b_vals[h1]))
+                expect[h2] += 1
+            got = final_mem.read_array(base_c, table_size)
+            return expect == got
+
+        return BuiltWorkload(
+            self.name, program, mem,
+            metadata={"keys": self.num_keys, "table": table_size},
+            reference_check=reference_check)
+
+
+class Graph500(Bfs):
+    """Graph500 top-down BFS step on the Kronecker input."""
+
+    name = "graph500"
+    domain = "hpc-db"
+    graph_default = "KR"
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=12345):
+        built = super().build(memory_bytes=memory_bytes, seed=seed + 500)
+        built.name = "graph500"
+        return built
+
+
+class HashJoin(Workload):
+    """Hash-join probe: each key tries ``probes`` hash functions."""
+
+    name = "hj"
+    domain = "hpc-db"
+    probes = 2
+
+    def __init__(self, num_keys=1 << 15, log2_table=19, seed=12345):
+        super().__init__(num_keys=num_keys, log2_table=log2_table, seed=seed)
+        self.num_keys = num_keys
+        self.log2_table = log2_table
+        self.seed = seed
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=None):
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        table_size = 1 << self.log2_table
+        mask = table_size - 1
+        # Build-side: insert half the keys via their first hash.
+        keys = rng.integers(1, 1 << 30, size=self.num_keys).astype(np.int64)
+        table = np.zeros(table_size, dtype=np.int64)
+
+        def _bucket(key, probe):
+            h = hash64(key + probe)
+            return (h ^ ((h & ((1 << 64) - 1)) >> 13)) & mask
+
+        for key in keys[: self.num_keys // 2].tolist():
+            table[_bucket(key, 0)] = key
+
+        mem = self._new_memory(memory_bytes)
+        base_keys = mem.alloc_array(keys, "keys")
+        base_table = mem.alloc_array(table, "table")
+        base_out = mem.alloc_array([0], "matches")
+
+        a = Assembler(f"hj{self.probes}")
+        for name, reg in [("rKeys", 1), ("rTab", 2), ("rOut", 3), ("rI", 4),
+                          ("rN", 5), ("rK", 6), ("rP", 7), ("rNP", 8),
+                          ("rH", 9), ("rB", 10), ("rM", 11), ("rCnd", 12),
+                          ("rMatch", 13), ("rT", 14)]:
+            a.alias(name, reg)
+        a.li("rKeys", base_keys)
+        a.li("rTab", base_table)
+        a.li("rOut", base_out)
+        a.li("rI", 0)
+        a.li("rN", self.num_keys)
+        a.li("rM", mask)
+        a.li("rMatch", 0)
+        a.li("rNP", self.probes)
+        a.label("outer")
+        a.loadx("rK", "rKeys", "rI")   # key = keys[i]  (striding)
+        a.li("rP", 0)
+        a.label("probe")
+        a.add("rT", "rK", "rP")        # probe p: hash(key + p)
+        a.hash("rH", "rT")
+        a.shri("rT", "rH", 13)         # hash finalization chain
+        a.xor("rH", "rH", "rT")
+        a.and_("rH", "rH", "rM")
+        a.loadx("rB", "rTab", "rH")    # bucket load (indirect)
+        a.cmpeq("rCnd", "rB", "rK")
+        a.bez("rCnd", "nohit")
+        a.addi("rMatch", "rMatch", 1)
+        a.label("nohit")
+        a.addi("rP", "rP", 1)
+        a.cmplt("rCnd", "rP", "rNP")
+        a.bnz("rCnd", "probe")         # bottom-tested inner loop
+        a.addi("rI", "rI", 1)
+        a.cmplt("rCnd", "rI", "rN")
+        a.bnz("rCnd", "outer")
+        a.li("rT", 0)
+        a.storex("rMatch", "rOut", "rT")
+        a.halt()
+        program = a.build()
+
+        probes = self.probes
+
+        def reference_check(final_mem):
+            matches = 0
+            for key in keys.tolist():
+                for p in range(probes):
+                    if int(table[_bucket(key, p)]) == key:
+                        matches += 1
+            return final_mem.read_word(base_out) == matches
+
+        return BuiltWorkload(
+            f"hj{self.probes}", program, mem,
+            metadata={"keys": self.num_keys, "table": table_size,
+                      "probes": self.probes},
+            reference_check=reference_check)
+
+
+class Hj2(HashJoin):
+    name = "hj2"
+    probes = 2
+
+
+class Hj8(HashJoin):
+    name = "hj8"
+    probes = 8
+
+
+class Kangaroo(Workload):
+    """Cuckoo-style two-table probe with a displacement hop."""
+
+    name = "kangaroo"
+    domain = "hpc-db"
+
+    def __init__(self, num_keys=1 << 15, log2_table=18, seed=12345):
+        super().__init__(num_keys=num_keys, log2_table=log2_table, seed=seed)
+        self.num_keys = num_keys
+        self.log2_table = log2_table
+        self.seed = seed
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=None):
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        table_size = 1 << self.log2_table
+        mask = table_size - 1
+        keys = rng.integers(1, 1 << 30, size=self.num_keys).astype(np.int64)
+        table1 = np.zeros(table_size, dtype=np.int64)
+        table2 = np.zeros(table_size, dtype=np.int64)
+        def _slot(value):
+            h = hash64(value)
+            return (h ^ ((h & ((1 << 64) - 1)) >> 13)) & mask
+
+        for key in keys[::3].tolist():          # third of keys in table 1
+            table1[_slot(key)] = key
+        for key in keys[1::3].tolist():         # third in table 2
+            table2[_slot(key ^ 0x5BD1E995)] = key
+
+        mem = self._new_memory(memory_bytes)
+        base_keys = mem.alloc_array(keys, "keys")
+        base_t1 = mem.alloc_array(table1, "table1")
+        base_t2 = mem.alloc_array(table2, "table2")
+        base_out = mem.alloc_array([0], "found")
+
+        a = Assembler("kangaroo")
+        for name, reg in [("rKeys", 1), ("rT1", 2), ("rT2", 3), ("rOut", 4),
+                          ("rI", 5), ("rN", 6), ("rK", 7), ("rH", 8),
+                          ("rV", 9), ("rM", 10), ("rCnd", 11),
+                          ("rFound", 12), ("rX", 13), ("rZero", 14)]:
+            a.alias(name, reg)
+        a.li("rKeys", base_keys)
+        a.li("rT1", base_t1)
+        a.li("rT2", base_t2)
+        a.li("rOut", base_out)
+        a.li("rI", 0)
+        a.li("rN", self.num_keys)
+        a.li("rM", mask)
+        a.li("rFound", 0)
+        a.li("rZero", 0)
+        a.label("loop")
+        a.loadx("rK", "rKeys", "rI")   # striding
+        a.hash("rH", "rK")
+        a.shri("rX", "rH", 13)
+        a.xor("rH", "rH", "rX")
+        a.and_("rH", "rH", "rM")
+        a.loadx("rV", "rT1", "rH")     # first hop
+        a.cmpeq("rCnd", "rV", "rK")
+        a.bnz("rCnd", "hit")
+        a.li("rX", 0x5BD1E995)
+        a.xor("rX", "rK", "rX")
+        a.hash("rH", "rX")
+        a.shri("rX", "rH", 13)
+        a.xor("rH", "rH", "rX")
+        a.and_("rH", "rH", "rM")
+        a.loadx("rV", "rT2", "rH")     # second hop (divergent path)
+        a.cmpeq("rCnd", "rV", "rK")
+        a.bez("rCnd", "next")
+        a.label("hit")
+        a.addi("rFound", "rFound", 1)
+        a.label("next")
+        a.addi("rI", "rI", 1)
+        a.cmplt("rCnd", "rI", "rN")
+        a.bnz("rCnd", "loop")
+        a.storex("rFound", "rOut", "rZero")
+        a.halt()
+        program = a.build()
+
+        def reference_check(final_mem):
+            found = 0
+            for key in keys.tolist():
+                if int(table1[_slot(key)]) == key:
+                    found += 1
+                elif int(table2[_slot(key ^ 0x5BD1E995)]) == key:
+                    found += 1
+            return final_mem.read_word(base_out) == found
+
+        return BuiltWorkload(
+            self.name, program, mem,
+            metadata={"keys": self.num_keys, "table": table_size},
+            reference_check=reference_check)
+
+
+class NasCg(Workload):
+    """NAS-CG sparse matrix-vector inner product."""
+
+    name = "nas-cg"
+    domain = "hpc-db"
+
+    def __init__(self, num_rows=1 << 14, nnz_per_row=16, log2_x=17,
+                 seed=12345):
+        super().__init__(num_rows=num_rows, nnz_per_row=nnz_per_row,
+                         log2_x=log2_x, seed=seed)
+        self.num_rows = num_rows
+        self.nnz_per_row = nnz_per_row
+        self.log2_x = log2_x
+        self.seed = seed
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=None):
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        x_size = 1 << self.log2_x
+        # Row lengths vary around the mean (CG rows are not uniform).
+        lengths = rng.integers(self.nnz_per_row // 2,
+                               self.nnz_per_row * 3 // 2 + 1,
+                               size=self.num_rows)
+        offsets = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        nnz = int(offsets[-1])
+        cols = rng.integers(0, x_size, size=nnz).astype(np.int64)
+        vals = rng.integers(1, 100, size=nnz).astype(np.int64)
+        x = rng.integers(1, 100, size=x_size).astype(np.int64)
+
+        mem = self._new_memory(memory_bytes)
+        base_off = mem.alloc_array(offsets, "offsets")
+        base_col = mem.alloc_array(cols, "cols")
+        base_val = mem.alloc_array(vals, "vals")
+        base_x = mem.alloc_array(x, "x")
+        base_y = mem.alloc_array(np.zeros(self.num_rows, dtype=np.int64), "y")
+
+        a = Assembler("nas-cg")
+        for name, reg in [("rOff", 1), ("rCol", 2), ("rVal", 3), ("rX", 4),
+                          ("rY", 5), ("rRow", 6), ("rN", 7), ("rS", 8),
+                          ("rE", 9), ("rSum", 10), ("rC", 11), ("rT", 12),
+                          ("rU", 13), ("rW", 14)]:
+            a.alias(name, reg)
+        a.li("rOff", base_off)
+        a.li("rCol", base_col)
+        a.li("rVal", base_val)
+        a.li("rX", base_x)
+        a.li("rY", base_y)
+        a.li("rRow", 0)
+        a.li("rN", self.num_rows)
+        a.label("rowloop")
+        a.loadx("rS", "rOff", "rRow")  # outer stride
+        a.addi("rT", "rRow", 1)
+        a.loadx("rE", "rOff", "rT")
+        a.li("rSum", 0)
+        a.cmplt("rC", "rS", "rE")
+        a.bez("rC", "rowdone")
+        a.label("inner")
+        a.loadx("rU", "rCol", "rS")    # col[j]  (inner stride)
+        a.loadx("rW", "rVal", "rS")    # a[j]
+        a.addi("rS", "rS", 1)
+        a.loadx("rT", "rX", "rU")      # x[col[j]]  (indirect)
+        a.mul("rT", "rT", "rW")
+        a.add("rSum", "rSum", "rT")
+        a.cmplt("rC", "rS", "rE")
+        a.bnz("rC", "inner")
+        a.label("rowdone")
+        a.storex("rSum", "rY", "rRow")
+        a.addi("rRow", "rRow", 1)
+        a.cmplt("rC", "rRow", "rN")
+        a.bnz("rC", "rowloop")
+        a.halt()
+        program = a.build()
+        num_rows = self.num_rows
+
+        def reference_check(final_mem):
+            expect = []
+            for row in range(num_rows):
+                total = 0
+                for j in range(int(offsets[row]), int(offsets[row + 1])):
+                    total += int(vals[j]) * int(x[cols[j]])
+                expect.append(total)
+            got = final_mem.read_array(base_y, num_rows)
+            return expect == got
+
+        return BuiltWorkload(
+            self.name, program, mem,
+            metadata={"rows": self.num_rows, "nnz": nnz},
+            reference_check=reference_check)
+
+
+class NasIs(Workload):
+    """NAS-IS bucket counting: count[key[i]]++ (simple indirection --
+    the pattern IMP handles well)."""
+
+    name = "nas-is"
+    domain = "hpc-db"
+
+    def __init__(self, num_keys=1 << 16, log2_buckets=17, seed=12345):
+        super().__init__(num_keys=num_keys, log2_buckets=log2_buckets,
+                         seed=seed)
+        self.num_keys = num_keys
+        self.log2_buckets = log2_buckets
+        self.seed = seed
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=None):
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        buckets = 1 << self.log2_buckets
+        keys = rng.integers(0, 1 << 30, size=self.num_keys).astype(np.int64)
+
+        mem = self._new_memory(memory_bytes)
+        base_keys = mem.alloc_array(keys, "keys")
+        base_cnt = mem.alloc_array(np.zeros(buckets, dtype=np.int64),
+                                   "count")
+
+        a = Assembler("nas-is")
+        for name, reg in [("rKeys", 1), ("rCnt", 2), ("rI", 3), ("rN", 4),
+                          ("rK", 5), ("rT", 6), ("rC", 7)]:
+            a.alias(name, reg)
+        a.alias("rM", 8)
+        a.li("rKeys", base_keys)
+        a.li("rCnt", base_cnt)
+        a.li("rI", 0)
+        a.li("rN", self.num_keys)
+        a.li("rM", buckets - 1)
+        a.label("loop")
+        a.loadx("rK", "rKeys", "rI")   # striding index load
+        a.shri("rK", "rK", 5)          # bucket extraction (key >> shift)
+        a.and_("rK", "rK", "rM")
+        a.loadx("rT", "rCnt", "rK")    # count[bucket]  (indirect)
+        a.addi("rT", "rT", 1)
+        a.storex("rT", "rCnt", "rK")
+        a.addi("rI", "rI", 1)
+        a.cmplt("rC", "rI", "rN")
+        a.bnz("rC", "loop")
+        a.halt()
+        program = a.build()
+
+        def reference_check(final_mem):
+            bucket_ids = (keys >> 5) & (buckets - 1)
+            expect = np.bincount(bucket_ids, minlength=buckets)
+            got = final_mem.read_array(base_cnt, buckets)
+            return expect.tolist() == got
+
+        return BuiltWorkload(
+            self.name, program, mem,
+            metadata={"keys": self.num_keys, "buckets": buckets},
+            reference_check=reference_check)
+
+
+class RandomAccess(Workload):
+    """HPCC GUPS: table[ran[i] & mask] ^= ran[i]."""
+
+    name = "randomaccess"
+    domain = "hpc-db"
+
+    def __init__(self, num_updates=1 << 16, log2_table=20, seed=12345):
+        super().__init__(num_updates=num_updates, log2_table=log2_table,
+                         seed=seed)
+        self.num_updates = num_updates
+        self.log2_table = log2_table
+        self.seed = seed
+
+    def build(self, memory_bytes=256 * 1024 * 1024, seed=None):
+        seed = self.seed if seed is None else seed
+        rng = np.random.default_rng(seed)
+        table_size = 1 << self.log2_table
+        mask = table_size - 1
+        ran = rng.integers(1, 1 << 50, size=self.num_updates).astype(np.int64)
+        table_init = np.arange(table_size, dtype=np.int64)
+
+        mem = self._new_memory(memory_bytes)
+        base_ran = mem.alloc_array(ran, "ran")
+        base_table = mem.alloc_array(table_init, "table")
+
+        a = Assembler("randomaccess")
+        for name, reg in [("rRan", 1), ("rTab", 2), ("rI", 3), ("rN", 4),
+                          ("rR", 5), ("rH", 6), ("rT", 7), ("rM", 8),
+                          ("rC", 9)]:
+            a.alias(name, reg)
+        a.li("rRan", base_ran)
+        a.li("rTab", base_table)
+        a.li("rI", 0)
+        a.li("rN", self.num_updates)
+        a.li("rM", mask)
+        a.alias("rT2", 10)
+        a.label("loop")
+        a.loadx("rR", "rRan", "rI")    # ran[i]    (striding)
+        a.shli("rT2", "rR", 7)         # GUPS index mixing (dependent ALU
+        a.xor("rH", "rR", "rT2")       # chain before the table access)
+        a.shri("rT2", "rH", 9)
+        a.xor("rH", "rH", "rT2")
+        a.and_("rH", "rH", "rM")
+        a.loadx("rT", "rTab", "rH")    # table[h]  (indirect)
+        a.xor("rT", "rT", "rR")
+        a.storex("rT", "rTab", "rH")
+        a.addi("rI", "rI", 1)
+        a.cmplt("rC", "rI", "rN")
+        a.bnz("rC", "loop")
+        a.halt()
+        program = a.build()
+
+        _mask64 = (1 << 64) - 1
+
+        def _index(value):
+            mixed = value ^ ((value << 7) & _mask64)
+            if mixed >= 1 << 63:
+                mixed -= 1 << 64
+            mixed ^= (mixed & _mask64) >> 9
+            return mixed & mask
+
+        def reference_check(final_mem):
+            expect = table_init.copy()
+            for value in ran.tolist():
+                expect[_index(value)] ^= value
+            got = final_mem.read_array(base_table, table_size)
+            return expect.tolist() == got
+
+        return BuiltWorkload(
+            self.name, program, mem,
+            metadata={"updates": self.num_updates, "table": table_size},
+            reference_check=reference_check)

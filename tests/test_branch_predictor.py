@@ -1,0 +1,95 @@
+"""Tests for the TAGE-lite branch predictor."""
+
+import random
+
+from repro.branch.predictor import TagePredictor, _fold
+from repro.config import BranchConfig
+
+
+def make_predictor():
+    return TagePredictor(BranchConfig())
+
+
+def run_sequence(predictor, pc, outcomes):
+    """Feed outcomes; return number of correct predictions."""
+    correct = 0
+    for taken in outcomes:
+        prediction, info = predictor.predict(pc)
+        if prediction == taken:
+            correct += 1
+        predictor.update(pc, taken, prediction, info)
+    return correct
+
+
+class TestFold:
+    def test_fold_zero(self):
+        assert _fold(0, 32, 10) == 0
+
+    def test_fold_bounded(self):
+        for history in (0x1234, 0xFFFFFFFF, 0xDEADBEEF):
+            assert 0 <= _fold(history, 32, 10) < (1 << 10)
+
+    def test_fold_depends_on_history(self):
+        assert _fold(0b1010, 4, 10) != _fold(0b0101, 4, 10)
+
+
+class TestLearning:
+    def test_always_taken_branch(self):
+        predictor = make_predictor()
+        correct = run_sequence(predictor, 100, [True] * 200)
+        assert correct >= 195
+
+    def test_always_not_taken_branch(self):
+        predictor = make_predictor()
+        correct = run_sequence(predictor, 100, [False] * 200)
+        assert correct >= 195
+
+    def test_biased_branch(self):
+        rng = random.Random(1)
+        predictor = make_predictor()
+        outcomes = [rng.random() < 0.9 for _ in range(2000)]
+        correct = run_sequence(predictor, 100, outcomes)
+        assert correct / len(outcomes) > 0.8
+
+    def test_short_loop_pattern(self):
+        """T T T N repeating (4-iteration loop) is TAGE's bread and
+        butter: the tagged history tables should learn the loop exit."""
+        predictor = make_predictor()
+        outcomes = ([True, True, True, False] * 300)
+        correct = run_sequence(predictor, 100, outcomes)
+        assert correct / len(outcomes) > 0.9
+
+    def test_alternating_pattern(self):
+        predictor = make_predictor()
+        outcomes = [bool(k % 2) for k in range(1000)]
+        correct = run_sequence(predictor, 100, outcomes)
+        assert correct / len(outcomes) > 0.9
+
+    def test_random_branch_unlearnable(self):
+        rng = random.Random(2)
+        predictor = make_predictor()
+        outcomes = [rng.random() < 0.5 for _ in range(2000)]
+        correct = run_sequence(predictor, 100, outcomes)
+        assert 0.35 < correct / len(outcomes) < 0.65
+
+    def test_two_branches_do_not_destroy_each_other(self):
+        predictor = make_predictor()
+        for _ in range(300):
+            for pc, taken in ((100, True), (104, False)):
+                prediction, info = predictor.predict(pc)
+                predictor.update(pc, taken, prediction, info)
+        # Both should now predict correctly.
+        for pc, taken in ((100, True), (104, False)):
+            prediction, _ = predictor.predict(pc)
+            assert prediction == taken
+
+
+class TestBookkeeping:
+    def test_counts(self):
+        predictor = make_predictor()
+        run_sequence(predictor, 100, [True, False, True])
+        assert predictor.lookups == 3
+        assert 0 <= predictor.mispredicts <= 3
+
+    def test_mispredict_rate_zero_when_idle(self):
+        assert make_predictor().mispredict_rate == 0.0

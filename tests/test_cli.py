@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "bfs" in out and "dvr" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "ROB size" in out
+
+    def test_run_workload(self, capsys, tiny_graph):
+        assert main(["run", "bfs", "--graph", tiny_graph,
+                     "--technique", "dvr", "--instructions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "dvr_spawns" in out
+
+    def test_run_hpcdb_workload(self, capsys):
+        assert main(["run", "nas-is", "--technique", "ooo",
+                     "--instructions", "2000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig9_with_tiny_scale(self, capsys, tiny_graph):
+        assert main(["fig9", "--graphs", tiny_graph,
+                     "--instructions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "MSHRs" in out
+
+
+class TestJsonExport:
+    def test_out_appends_json_lines(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        assert main(["table1", "--out", str(out)]) == 0
+        assert main(["table1", "--out", str(out)]) == 0
+        import json
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 2
+        payload = json.loads(lines[0])
+        assert payload["name"].startswith("Table 1")
+        assert payload["rows"]

@@ -1,0 +1,176 @@
+"""Tests for Nested Discovery Mode on a genuine two-level loop nest."""
+
+import random
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness.runner import run_built
+from repro.isa import Assembler, GuestMemory
+from repro.workloads.base import BuiltWorkload
+from repro.workloads.gap import Bfs
+
+
+def nested_workload(num_outer=2048, inner_len=4, seed=5, branchy=False,
+                    memory_bytes=64 * 1024 * 1024):
+    """An outer loop whose inner loop has only ``inner_len`` iterations:
+
+        for i: s = starts[i]; e = s + inner_len
+               for j in [s, e): v = data[idx[j]]
+                                if branchy and v odd: sum += v
+
+    Short inner loops force Discovery Mode's bound below the NDM
+    threshold, so full DVR must use Nested Discovery Mode.  ``branchy``
+    adds a data-dependent branch (like BFS's visited check) whose
+    mispredictions keep the out-of-order window -- and hence baseline
+    MLP -- small, which is the regime NDM is for.
+    """
+    rnd = random.Random(seed)
+    mem = GuestMemory(memory_bytes)
+    total = num_outer * inner_len
+    # Outer iteration i owns a *random* chunk of the index space (like a
+    # BFS worklist visiting adjacency lists out of order).  If chunks were
+    # contiguous, blind 128-lane over-fetch past the loop bound would be
+    # accidentally correct (the paper's cc/pr observation) and NDM would
+    # have nothing to add.
+    chunk_order = list(range(num_outer))
+    rnd.shuffle(chunk_order)
+    starts = mem.alloc_array([chunk * inner_len for chunk in chunk_order],
+                             "starts")
+    idx = mem.alloc_array([rnd.randrange(1 << 16) for _ in range(total)],
+                          "idx")
+    data = mem.alloc_array([rnd.randrange(1 << 20) for _ in range(1 << 16)],
+                           "data")
+
+    a = Assembler("nested")
+    for name, reg in [("rSt", 1), ("rIdx", 2), ("rDat", 3), ("rI", 4),
+                      ("rN", 5), ("rS", 6), ("rE", 7), ("rJ", 8),
+                      ("rT", 9), ("rV", 10), ("rSum", 11), ("rC", 12)]:
+        a.alias(name, reg)
+    a.li("rSt", starts)
+    a.li("rIdx", idx)
+    a.li("rDat", data)
+    a.li("rI", 0)
+    a.li("rN", num_outer)
+    a.label("outer")
+    a.loadx("rS", "rSt", "rI")     # outer striding load
+    a.addi("rI", "rI", 1)
+    a.addi("rE", "rS", inner_len)
+    a.mov("rJ", "rS")
+    a.label("inner")
+    a.loadx("rT", "rIdx", "rJ")    # inner striding load
+    a.addi("rJ", "rJ", 1)
+    a.loadx("rV", "rDat", "rT")    # dependent indirect load (FLR)
+    if branchy:
+        a.andi("rC", "rV", 1)
+        a.bez("rC", "skip")
+        a.add("rSum", "rSum", "rV")
+        a.label("skip")
+    else:
+        a.add("rSum", "rSum", "rV")
+    a.cmplt("rC", "rJ", "rE")
+    a.bnz("rC", "inner")           # bottom-tested backward branch
+    a.cmplt("rC", "rI", "rN")
+    a.bnz("rC", "outer")
+    a.halt()
+    return BuiltWorkload("nested", a.build(), mem,
+                         metadata={"inner_len": inner_len})
+
+
+def run_dvr(built, max_instructions=8000, nested_enabled=True):
+    technique = "dvr" if nested_enabled else "dvr-discovery"
+    config = SimConfig(max_instructions=max_instructions,
+                       technique=technique).with_technique(technique)
+    return run_built(built, config)
+
+
+class TestNestedTrigger:
+    def test_short_inner_loop_enters_ndm(self):
+        metrics = run_dvr(nested_workload())
+        assert metrics.engine_stats["dvr_ndm_entries"] > 0
+
+    def test_long_inner_loop_mostly_avoids_ndm(self):
+        """With 256-iteration inner loops, most spawns see >= 64 remaining
+        iterations and vectorize directly; NDM may still fire near a
+        loop's tail (remaining legitimately drops below the threshold)."""
+        metrics = run_dvr(nested_workload(num_outer=64, inner_len=256))
+        stats = metrics.engine_stats
+        assert stats["dvr_spawns"] > 0
+        assert stats["dvr_ndm_entries"] <= stats["dvr_spawns"] / 2
+
+    def test_nested_disabled_by_ablation(self):
+        metrics = run_dvr(nested_workload(), nested_enabled=False)
+        assert metrics.engine_stats["dvr_ndm_entries"] == 0
+
+
+class TestNestedExpansion:
+    def test_expansion_reaches_many_inner_lanes(self):
+        """16 outer lanes x 4-iteration inner loops = 64 inner lanes."""
+        metrics = run_dvr(nested_workload(inner_len=4))
+        stats = metrics.engine_stats
+        spawns = max(1, stats["dvr_ndm_entries"] - stats["dvr_ndm_fallbacks"])
+        lanes_per_entry = stats["dvr_ndm_inner_lanes"] / spawns
+        assert lanes_per_entry >= 32  # far beyond one inner loop (4)
+
+    def test_nested_beats_bound_limited_dvr(self):
+        """Full DVR (with NDM) must out-prefetch discovery-only DVR on
+        short inner loops -- the whole point of Section 4.3.  The branchy
+        variant keeps the baseline window (and its MLP) small, which is
+        the regime where coverage differences show up as performance."""
+        with_ndm = run_dvr(nested_workload(branchy=True))
+        without = run_dvr(nested_workload(branchy=True),
+                          nested_enabled=False)
+        assert with_ndm.ipc > without.ipc * 1.05
+
+    def test_inner_lane_cap_respected(self):
+        metrics = run_dvr(nested_workload(inner_len=32))
+        stats = metrics.engine_stats
+        entries = stats["dvr_ndm_entries"] - stats["dvr_ndm_fallbacks"]
+        if entries > 0:
+            assert stats["dvr_ndm_inner_lanes"] / entries <= 128
+
+
+class TestNestedFallback:
+    def test_fallback_when_no_outer_stride(self):
+        """A short loop with no enclosing striding load must fall back to
+        loop-bound vectorization within the 200-instruction NDM budget."""
+        rnd = random.Random(7)
+        mem = GuestMemory(64 * 1024 * 1024)
+        n = 4096
+        idx = mem.alloc_array([rnd.randrange(1 << 14) for _ in range(n)],
+                              "idx")
+        data = mem.alloc(1 << 14, "data")
+        a = Assembler("flat")
+        for name, reg in [("rIdx", 1), ("rDat", 2), ("rJ", 3), ("rE", 4),
+                          ("rT", 5), ("rV", 6), ("rSum", 7), ("rC", 8),
+                          ("rN", 9)]:
+            a.alias(name, reg)
+        a.li("rIdx", idx)
+        a.li("rDat", data)
+        a.li("rJ", 0)
+        a.li("rN", n)
+        a.label("chunk")
+        a.addi("rE", "rJ", 6)          # tiny "inner" bound, no outer stride
+        a.label("inner")
+        a.loadx("rT", "rIdx", "rJ")
+        a.addi("rJ", "rJ", 1)
+        a.loadx("rV", "rDat", "rT")
+        a.add("rSum", "rSum", "rV")
+        a.cmplt("rC", "rJ", "rE")
+        a.bnz("rC", "inner")
+        a.cmplt("rC", "rJ", "rN")
+        a.bnz("rC", "chunk")
+        a.halt()
+        built = BuiltWorkload("flat", a.build(), mem)
+        metrics = run_dvr(built)
+        stats = metrics.engine_stats
+        assert stats["dvr_ndm_entries"] > 0
+        assert stats["dvr_ndm_fallbacks"] > 0
+
+    def test_bfs_uniform_graph_uses_ndm(self, tiny_uniform_graph):
+        """Uniform-degree graphs have short adjacency lists -- the
+        motivating case for NDM (paper Section 6.1, UR input)."""
+        built = Bfs(graph=tiny_uniform_graph).build(
+            memory_bytes=64 * 1024 * 1024)
+        metrics = run_dvr(built)
+        assert metrics.engine_stats["dvr_ndm_entries"] > 0

@@ -1,0 +1,389 @@
+"""Tests for DVR's small hardware structures: the stride detector (RPT),
+taint tracker (VTT), loop-bound detector, VRAT, reconvergence stack, and
+the hardware-cost accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CoreConfig, DvrConfig
+from repro.core.hw_cost import hardware_budget, total_bytes
+from repro.core.loop_bounds import LoopBoundDetector, LoopBoundResult
+from repro.core.reconvergence import ReconvergenceStack
+from repro.core.stride_detector import StrideDetector
+from repro.core.taint import TaintTracker
+from repro.core.vrat import Vrat, VratExhausted
+from repro.isa.instructions import Instruction, Op
+
+
+class TestStrideDetector:
+    def make(self):
+        return StrideDetector(DvrConfig())
+
+    def test_builds_confidence_on_steady_stride(self):
+        det = self.make()
+        for k in range(4):
+            det.observe(10, 0x1000 + k * 8)
+        assert det.is_confident(10)
+        assert det.get(10).stride == 8
+
+    def test_two_observations_not_confident(self):
+        det = self.make()
+        det.observe(10, 0x1000)
+        det.observe(10, 0x1008)
+        assert not det.is_confident(10)
+
+    def test_stride_change_resets(self):
+        det = self.make()
+        for k in range(4):
+            det.observe(10, 0x1000 + k * 8)
+        det.observe(10, 0x9000)
+        assert not det.is_confident(10)
+
+    def test_zero_stride_never_confident(self):
+        det = self.make()
+        for _ in range(8):
+            det.observe(10, 0x1000)
+        assert not det.is_confident(10)
+
+    def test_negative_stride_supported(self):
+        det = self.make()
+        for k in range(4):
+            det.observe(10, 0x9000 - k * 16)
+        assert det.is_confident(10)
+        assert det.get(10).stride == -16
+
+    def test_capacity_eviction(self):
+        det = StrideDetector(DvrConfig(stride_detector_entries=4))
+        for pc in range(6):
+            det.observe(pc, 0x1000)
+        assert len(det) == 4
+        assert det.get(0) is None
+        assert det.get(5) is not None
+
+    def test_lru_refresh_protects_hot_entry(self):
+        det = StrideDetector(DvrConfig(stride_detector_entries=2))
+        det.observe(1, 0x100)
+        det.observe(2, 0x200)
+        det.observe(1, 0x108)  # refresh pc 1
+        det.observe(3, 0x300)  # should evict pc 2
+        assert det.get(1) is not None
+        assert det.get(2) is None
+
+    def test_confident_entries_listing(self):
+        det = self.make()
+        for k in range(4):
+            det.observe(10, 0x1000 + k * 8)
+            det.observe(11, 0x5000)  # zero stride
+        assert [entry.pc for entry in det.confident_entries()] == [10]
+
+    @given(st.integers(min_value=1, max_value=1024),
+           st.integers(min_value=-512, max_value=512).filter(lambda s: s != 0))
+    def test_property_any_nonzero_stride_learnable(self, base, stride):
+        det = self.make()
+        for k in range(5):
+            det.observe(1, base + k * stride)
+        assert det.is_confident(1)
+        assert det.get(1).stride == stride
+
+
+def _ins(op, rd=-1, rs1=-1, rs2=-1, rs3=-1, imm=0, target=-1, pc=0):
+    return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, rs3=rs3, imm=imm,
+                       target=target, pc=pc)
+
+
+class TestTaintTracker:
+    def test_seed_and_direct_propagation(self):
+        vtt = TaintTracker()
+        vtt.reset(seed_reg=1)
+        assert vtt.is_tainted(1)
+        assert vtt.observe(_ins(Op.ADD, rd=2, rs1=1, rs2=3))
+        assert vtt.is_tainted(2)
+
+    def test_transitive_propagation(self):
+        vtt = TaintTracker()
+        vtt.reset(1)
+        vtt.observe(_ins(Op.ADD, rd=2, rs1=1, rs2=3))
+        vtt.observe(_ins(Op.MOV, rd=4, rs1=2))
+        assert vtt.is_tainted(4)
+
+    def test_overwrite_clears_taint(self):
+        vtt = TaintTracker()
+        vtt.reset(1)
+        vtt.observe(_ins(Op.LI, rd=1, imm=5))
+        assert not vtt.is_tainted(1)
+
+    def test_untainted_instruction_not_in_chain(self):
+        vtt = TaintTracker()
+        vtt.reset(1)
+        assert not vtt.observe(_ins(Op.ADD, rd=2, rs1=3, rs2=4))
+
+    def test_flr_updates_on_tainted_load(self):
+        vtt = TaintTracker()
+        vtt.reset(1)
+        vtt.observe(_ins(Op.LOADX, rd=2, rs1=5, rs2=1, imm=8, pc=17))
+        assert vtt.flr_pc == 17
+        vtt.observe(_ins(Op.LOADX, rd=3, rs1=5, rs2=2, imm=8, pc=19))
+        assert vtt.flr_pc == 19
+        assert vtt.has_dependent_load
+
+    def test_untainted_load_does_not_touch_flr(self):
+        vtt = TaintTracker()
+        vtt.reset(1)
+        vtt.observe(_ins(Op.LOADX, rd=2, rs1=5, rs2=6, imm=8, pc=17))
+        assert vtt.flr_pc == -1
+
+    def test_chain_pcs_recorded(self):
+        vtt = TaintTracker()
+        vtt.reset(1)
+        vtt.observe(_ins(Op.ADD, rd=2, rs1=1, rs2=1, pc=3))
+        vtt.observe(_ins(Op.ADD, rd=9, rs1=8, rs2=8, pc=4))  # unrelated
+        vtt.observe(_ins(Op.LOADX, rd=5, rs1=6, rs2=2, imm=8, pc=5))
+        assert vtt.chain_pcs == [3, 5]
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15),
+                              st.integers(0, 15)), max_size=50))
+    def test_property_bits_always_within_register_file(self, writes):
+        vtt = TaintTracker()
+        vtt.reset(0)
+        for rd, rs1, rs2 in writes:
+            vtt.observe(_ins(Op.ADD, rd=rd, rs1=rs1, rs2=rs2))
+            assert 0 <= vtt.bits < (1 << 32)
+
+
+class TestLoopBoundDetector:
+    def _loop_sequence(self, det, induction=5, bound=6, stride_pc=10):
+        """Simulate: cmp rC, rI, rN; bnz rC -> stride_pc-2 (backward)."""
+        det.observe_compare(_ins(Op.CMPLT, rd=7, rs1=induction, rs2=bound,
+                                 pc=20))
+        det.observe_branch(_ins(Op.BNZ, rs1=7, target=8, pc=21),
+                           stride_pc=stride_pc)
+
+    def test_identifies_compare_and_branch(self):
+        det = LoopBoundDetector()
+        det.checkpoint_entry([0] * 32)
+        self._loop_sequence(det)
+        assert det.sbb
+        assert det.branch_pc == 21
+
+    def test_forward_branch_not_accepted(self):
+        det = LoopBoundDetector()
+        det.checkpoint_entry([0] * 32)
+        det.observe_compare(_ins(Op.CMPLT, rd=7, rs1=5, rs2=6, pc=20))
+        det.observe_branch(_ins(Op.BNZ, rs1=7, target=50, pc=21),
+                           stride_pc=10)
+        assert not det.sbb
+        assert det.other_branch_seen
+
+    def test_flr_update_resets_lcr(self):
+        det = LoopBoundDetector()
+        det.checkpoint_entry([0] * 32)
+        det.observe_compare(_ins(Op.CMPLT, rd=7, rs1=5, rs2=6, pc=20))
+        det.on_flr_update()
+        assert det.lcr_dest == -1
+
+    def test_finalize_classifies_bound_and_induction(self):
+        det = LoopBoundDetector()
+        entry = [0] * 32
+        entry[5], entry[6] = 10, 100   # induction=10, bound=100
+        det.checkpoint_entry(entry)
+        self._loop_sequence(det, induction=5, bound=6)
+        exit_regs = list(entry)
+        exit_regs[5] = 11              # induction advanced by 1
+        result = det.finalize(exit_regs)
+        assert result.found
+        assert result.bound_reg == 6
+        assert result.induction_reg == 5
+        assert result.increment == 1
+
+    def test_finalize_swapped_operands(self):
+        det = LoopBoundDetector()
+        entry = [0] * 32
+        entry[5], entry[6] = 100, 10
+        det.checkpoint_entry(entry)
+        det.observe_compare(_ins(Op.CMPLT, rd=7, rs1=5, rs2=6, pc=20))
+        det.observe_branch(_ins(Op.BNZ, rs1=7, target=8, pc=21), 10)
+        exit_regs = list(entry)
+        exit_regs[6] = 12              # rs2 is the induction
+        result = det.finalize(exit_regs)
+        assert result.found and result.induction_reg == 6
+        assert result.increment == 2
+
+    def test_finalize_fails_when_both_change(self):
+        det = LoopBoundDetector()
+        entry = [0] * 32
+        det.checkpoint_entry(entry)
+        self._loop_sequence(det)
+        exit_regs = list(entry)
+        exit_regs[5], exit_regs[6] = 3, 4
+        assert not det.finalize(exit_regs).found
+
+    def test_finalize_fails_without_branch(self):
+        det = LoopBoundDetector()
+        det.checkpoint_entry([0] * 32)
+        det.observe_compare(_ins(Op.CMPLT, rd=7, rs1=5, rs2=6, pc=20))
+        assert not det.finalize([1] * 32).found
+
+
+class TestLoopBoundResult:
+    def test_remaining_positive_increment(self):
+        result = LoopBoundResult(found=True, bound_reg=6, induction_reg=5,
+                                 increment=1)
+        regs = [0] * 32
+        regs[5], regs[6] = 10, 50
+        assert result.remaining_iterations(regs, cap=128) == 40
+
+    def test_remaining_capped(self):
+        result = LoopBoundResult(found=True, bound_reg=6, induction_reg=5,
+                                 increment=1)
+        regs = [0] * 32
+        regs[5], regs[6] = 0, 1000
+        assert result.remaining_iterations(regs, cap=128) == 128
+
+    def test_remaining_negative_clamped_to_zero(self):
+        result = LoopBoundResult(found=True, bound_reg=6, induction_reg=5,
+                                 increment=1)
+        regs = [0] * 32
+        regs[5], regs[6] = 50, 10
+        assert result.remaining_iterations(regs, cap=128) == 0
+
+    def test_remaining_downward_loop(self):
+        result = LoopBoundResult(found=True, bound_reg=6, induction_reg=5,
+                                 increment=-2)
+        regs = [0] * 32
+        regs[5], regs[6] = 20, 0
+        assert result.remaining_iterations(regs, cap=128) == 10
+
+    def test_not_found_returns_cap(self):
+        result = LoopBoundResult(found=False)
+        assert result.remaining_iterations([0] * 32, cap=128) == 128
+
+    @given(st.integers(0, 1000), st.integers(0, 1000),
+           st.integers(1, 16), st.integers(1, 256))
+    def test_property_remaining_in_range(self, cur, bound, inc, cap):
+        result = LoopBoundResult(found=True, bound_reg=6, induction_reg=5,
+                                 increment=inc)
+        regs = [0] * 32
+        regs[5], regs[6] = cur, bound
+        remaining = result.remaining_iterations(regs, cap=cap)
+        assert 0 <= remaining <= cap
+
+
+class TestVrat:
+    def make(self):
+        return Vrat(CoreConfig(), DvrConfig())
+
+    def test_initialize_maps_all_scalars(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        assert all(vrat.kind(r) == "scalar" for r in range(32))
+
+    def test_vectorize_allocates_16(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        before = vrat.free_vector_regs
+        vrat.make_vector(3)
+        assert vrat.free_vector_regs == before - 16
+        assert vrat.kind(3) == "vector"
+
+    def test_vectorize_frees_scalar(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        before = vrat.free_int_regs
+        vrat.make_vector(3)
+        assert vrat.free_int_regs == before + 1
+
+    def test_scalar_overwrite_frees_vector(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        vrat.make_vector(3)
+        free_vec = vrat.free_vector_regs
+        vrat.make_scalar(3)
+        assert vrat.free_vector_regs == free_vec + 16
+        assert vrat.kind(3) == "scalar"
+
+    def test_vector_exhaustion(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        # 128 vector regs / 16 per mapping = 8 mappings.
+        for reg in range(8):
+            vrat.make_vector(reg)
+        with pytest.raises(VratExhausted):
+            vrat.make_vector(9)
+        assert vrat.exhaustions == 1
+
+    def test_release_all_restores_capacity(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        vrat.make_vector(1)
+        vrat.make_vector(2)
+        vrat.release_all()
+        assert vrat.free_vector_regs == CoreConfig().phys_vec_regs
+        vrat.initialize_from_main()  # can spawn again
+
+    def test_double_vectorize_idempotent(self):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        vrat.make_vector(1)
+        free = vrat.free_vector_regs
+        vrat.make_vector(1)
+        assert vrat.free_vector_regs == free
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 31)),
+                    max_size=60))
+    def test_property_free_lists_never_exceed_capacity(self, ops):
+        vrat = self.make()
+        vrat.initialize_from_main()
+        for to_vector, reg in ops:
+            try:
+                if to_vector:
+                    vrat.make_vector(reg)
+                else:
+                    vrat.make_scalar(reg)
+            except VratExhausted:
+                pass
+            assert 0 <= vrat.free_vector_regs <= CoreConfig().phys_vec_regs
+            assert 0 <= vrat.free_int_regs <= CoreConfig().phys_int_regs
+        vrat.release_all()
+        assert vrat.free_vector_regs == CoreConfig().phys_vec_regs
+
+
+class TestReconvergenceStack:
+    def test_push_pop_lifo(self):
+        stack = ReconvergenceStack(8)
+        stack.push(10, [1, 2])
+        stack.push(20, [3])
+        assert stack.pop() == (20, (3,))
+        assert stack.pop() == (10, (1, 2))
+        assert stack.empty
+
+    def test_overflow_drops(self):
+        stack = ReconvergenceStack(2)
+        assert stack.push(1, [1])
+        assert stack.push(2, [2])
+        assert not stack.push(3, [3])
+        assert stack.overflows == 1
+        assert len(stack) == 2
+
+    def test_pop_empty_returns_none(self):
+        assert ReconvergenceStack(2).pop() is None
+
+
+class TestHardwareCost:
+    def test_total_matches_paper(self):
+        assert total_bytes(DvrConfig(), CoreConfig()) == 1139
+
+    def test_structure_budget_rows(self):
+        rows = {name: nbytes for name, _, nbytes in
+                hardware_budget(DvrConfig(), CoreConfig())}
+        assert rows["Stride detector (RPT)"] == 460
+        assert rows["VRAT"] == 288
+        assert rows["VIR"] == 86
+        assert rows["Front-end buffer"] == 64
+        assert rows["Reconvergence stack"] == 176
+        assert rows["FLR"] == 6
+        assert rows["LCR"] == 2
+        assert rows["Loop-bound detector"] == 48
+
+    def test_budget_scales_with_config(self):
+        bigger = DvrConfig(stride_detector_entries=64)
+        assert total_bytes(bigger, CoreConfig()) > 1139

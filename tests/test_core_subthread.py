@@ -1,0 +1,298 @@
+"""Tests for the vector-runahead subthread: vectorization, gathers,
+divergence/reconvergence, termination rules, and VRAT interaction."""
+
+import random
+
+import pytest
+
+from repro.config import CoreConfig, DvrConfig, SimConfig
+from repro.core.subthread import (FLOW_FIRST_LANE, FLOW_RECONVERGE,
+                                  SubthreadStats, VectorSubthread)
+from repro.isa import Assembler, GuestMemory
+from repro.memsys import MemoryHierarchy, SRC_DVR
+from repro.uarch.scheduler import IssuePorts
+
+
+def make_env(program, mem, dvr_config=None, flow=FLOW_RECONVERGE):
+    config = SimConfig()
+    dvr_config = dvr_config or config.dvr
+    hierarchy = MemoryHierarchy(config.memsys, config.stride_pf, config.imp,
+                                mem)
+    subthread = VectorSubthread(program, mem, hierarchy, config.core,
+                                dvr_config, source=SRC_DVR, flow=flow,
+                                stats=SubthreadStats())
+    ports = IssuePorts(config.core)
+    return subthread, hierarchy, ports
+
+
+def run_subthread(subthread, ports, max_cycles=100_000):
+    now = 0
+    while not subthread.done and now < max_cycles:
+        now += 1
+        ports.new_cycle()
+        subthread.step(now, ports)
+        subthread.hierarchy.tick(now)
+    return now
+
+
+def chain_program(mem, n=1024, seed=3):
+    """A[i] -> B[A[i]] -> C[B[..]]++ chain; returns (program, bases)."""
+    rnd = random.Random(seed)
+    base_a = mem.alloc_array([rnd.randrange(n) for _ in range(n)], "A")
+    base_b = mem.alloc_array([rnd.randrange(n) for _ in range(n)], "B")
+    base_c = mem.alloc_array([0] * n, "C")
+    a = Assembler("chain")
+    for name, reg in [("rA", 1), ("rB", 2), ("rC", 3), ("rI", 4), ("rN", 5),
+                      ("rT", 6), ("rV", 7), ("rCnd", 8)]:
+        a.alias(name, reg)
+    a.li("rA", base_a)
+    a.li("rB", base_b)
+    a.li("rC", base_c)
+    a.li("rI", 0)
+    a.li("rN", n)
+    a.label("loop")
+    a.loadx("rT", "rA", "rI")      # pc 5: striding load
+    a.loadx("rV", "rB", "rT")      # pc 6
+    a.loadx("rT", "rC", "rV")      # pc 7: FLR
+    a.addi("rT", "rT", 1)
+    a.storex("rT", "rC", "rV")
+    a.addi("rI", "rI", 1)
+    a.cmplt("rCnd", "rI", "rN")
+    a.bnz("rCnd", "loop")
+    a.halt()
+    regs = [0] * 32
+    regs[1], regs[2], regs[3], regs[4], regs[5] = (base_a, base_b, base_c,
+                                                   100, n)
+    return a.build(), (base_a, base_b, base_c), regs
+
+
+class TestSpawnAndGather:
+    def test_spawn_initializes_lanes(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, _ = make_env(program, mem)
+        assert subthread.spawn(5, 8, bases[0] + 800, regs, 32,
+                               flr_pc=7)
+        assert subthread.active == list(range(32))
+        assert not subthread.done
+
+    def test_stride_load_prefetches_future_lanes(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, hierarchy, ports = make_env(program, mem)
+        subthread.spawn(5, 8, bases[0] + 100 * 8, regs, 16, flr_pc=7)
+        run_subthread(subthread, ports)
+        # Lane k fetched A + (100 + k + 1)*8.
+        for k in (0, 15):
+            line = (bases[0] + (100 + k + 1) * 8) >> 6
+            assert (hierarchy.l1d.contains(line) or
+                    hierarchy.l2.contains(line))
+
+    def test_chain_levels_prefetched(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, hierarchy, ports = make_env(program, mem)
+        subthread.spawn(5, 8, bases[0] + 100 * 8, regs, 16, flr_pc=7)
+        run_subthread(subthread, ports)
+        # Every lane's B and C lines must be resident.
+        for k in range(16):
+            a_val = mem.read_word(bases[0] + (101 + k) * 8)
+            b_addr = bases[1] + a_val * 8
+            assert hierarchy.l1d.contains(b_addr >> 6)
+            b_val = mem.read_word(b_addr)
+            c_addr = bases[2] + b_val * 8
+            assert hierarchy.l1d.contains(c_addr >> 6)
+
+    def test_flr_terminates_before_loop_tail(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, ports = make_env(program, mem)
+        subthread.spawn(5, 8, bases[0] + 800, regs, 8, flr_pc=7)
+        run_subthread(subthread, ports)
+        # Instruction count: stride load, B load, C load -- then stop.
+        assert subthread.stats.instructions == 3
+
+    def test_terminate_at_stride_runs_whole_body(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, ports = make_env(program, mem)
+        subthread.spawn(5, 8, bases[0] + 800, regs, 8,
+                        flr_pc=-1, terminate_at_stride=True)
+        run_subthread(subthread, ports)
+        # loads + addi + (store skipped) + addi + cmp + bnz + stride again
+        assert subthread.stats.instructions == 9
+
+    def test_zero_lanes_never_starts(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, _ = make_env(program, mem)
+        assert not subthread.spawn(5, 8, bases[0], regs, 0, flr_pc=7)
+        assert subthread.done
+
+    def test_out_of_bounds_lanes_masked(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, ports = make_env(program, mem)
+        # Spawn near the end of guest memory: high lanes fault.
+        subthread.spawn(5, 8, mem.size_bytes - 5 * 8, regs, 16, flr_pc=7)
+        run_subthread(subthread, ports)
+        assert subthread.done  # no crash; faulting lanes masked
+
+    def test_dram_accesses_attributed_to_dvr(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, hierarchy, ports = make_env(program, mem)
+        subthread.spawn(5, 8, bases[0] + 800, regs, 32, flr_pc=7)
+        run_subthread(subthread, ports)
+        assert hierarchy.stats.dram_accesses.get(SRC_DVR, 0) > 0
+
+
+def divergent_program(mem, n=512, taken_fraction=0.5, seed=4):
+    """Lanes branch on a loaded flag; each path loads a different array."""
+    rnd = random.Random(seed)
+    flags = [1 if rnd.random() < taken_fraction else 0 for _ in range(n)]
+    base_f = mem.alloc_array(flags, "flags")
+    base_x = mem.alloc_array(list(range(n)), "X")
+    base_y = mem.alloc_array(list(range(n)), "Y")
+    a = Assembler("divergent")
+    for name, reg in [("rF", 1), ("rX", 2), ("rY", 3), ("rI", 4), ("rN", 5),
+                      ("rT", 6), ("rV", 7), ("rCnd", 8)]:
+        a.alias(name, reg)
+    a.li("rF", base_f)
+    a.li("rX", base_x)
+    a.li("rY", base_y)
+    a.li("rI", 0)
+    a.li("rN", n)
+    a.label("loop")
+    a.loadx("rT", "rF", "rI")      # pc 5: striding load of per-lane flag
+    a.bez("rT", "else")
+    a.loadx("rV", "rX", "rI")      # taken path: X[i]
+    a.jmp("join")
+    a.label("else")
+    a.loadx("rV", "rY", "rI")      # fall path: Y[i]
+    a.label("join")
+    a.addi("rI", "rI", 1)
+    a.cmplt("rCnd", "rI", "rN")
+    a.bnz("rCnd", "loop")
+    a.halt()
+    regs = [0] * 32
+    regs[1], regs[2], regs[3], regs[4], regs[5] = (base_f, base_x, base_y,
+                                                   0, n)
+    return a.build(), flags, regs
+
+
+class TestDivergence:
+    def test_reconvergence_covers_both_paths(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, flags, regs = divergent_program(mem)
+        subthread, _, ports = make_env(program, mem)
+        subthread.spawn(5, 8, 64, regs, 32, flr_pc=-1,
+                        terminate_at_stride=True)
+        run_subthread(subthread, ports)
+        assert subthread.stats.divergences >= 1
+        assert subthread.reconv.pushes >= 1
+
+    def test_first_lane_mode_drops_divergers(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, flags, regs = divergent_program(mem)
+        subthread, _, ports = make_env(program, mem, flow=FLOW_FIRST_LANE)
+        subthread.spawn(5, 8, 64, regs, 32, flr_pc=-1,
+                        terminate_at_stride=True)
+        run_subthread(subthread, ports)
+        assert subthread.stats.divergences >= 1
+        assert subthread.reconv.pushes == 0
+
+    def test_reconverge_prefetches_more_than_first_lane(self):
+        """DVR's divergence handling covers lanes VR throws away."""
+        counts = {}
+        for flow in (FLOW_RECONVERGE, FLOW_FIRST_LANE):
+            mem = GuestMemory(32 * 1024 * 1024)
+            program, flags, regs = divergent_program(mem)
+            subthread, hierarchy, ports = make_env(program, mem, flow=flow)
+            subthread.spawn(5, 8, 64, regs, 64, flr_pc=-1,
+                            terminate_at_stride=True)
+            run_subthread(subthread, ports)
+            counts[flow] = subthread.stats.lane_loads_issued
+        assert counts[FLOW_RECONVERGE] > counts[FLOW_FIRST_LANE]
+
+    def test_uniform_branch_no_divergence(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, flags, regs = divergent_program(mem, taken_fraction=1.0)
+        subthread, _, ports = make_env(program, mem)
+        subthread.spawn(5, 8, 64, regs, 16, flr_pc=-1,
+                        terminate_at_stride=True)
+        run_subthread(subthread, ports)
+        assert subthread.stats.divergences == 0
+
+
+class TestResourceLimits:
+    def test_timeout_bounds_execution(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        a = Assembler("spin")
+        base = mem.alloc_array(list(range(1024)), "data")
+        a.li("r1", base)
+        a.li("r2", 0)
+        a.label("loop")
+        a.loadx("r3", "r1", "r2")   # pc 2: striding
+        a.addi("r4", "r4", 1)
+        a.jmp("inner_spin")
+        a.label("inner_spin")
+        a.addi("r4", "r4", 1)
+        a.jmp("inner_spin")         # never returns to the stride pc
+        program = a.build()
+        regs = [0] * 32
+        regs[1] = base
+        config = DvrConfig(subthread_timeout=50)
+        subthread, _, ports = make_env(program, mem, dvr_config=config)
+        subthread.spawn(2, 8, base, regs, 8, flr_pc=-1,
+                        terminate_at_stride=True)
+        run_subthread(subthread, ports)
+        assert subthread.stats.timeouts == 1
+        assert subthread.stats.instructions <= 51
+
+    def test_vrat_exhaustion_kills_invocation(self):
+        """A chain with more than 8 distinct vector destinations exhausts
+        the 128 vector physical registers (8 x 16)."""
+        mem = GuestMemory(32 * 1024 * 1024)
+        base = mem.alloc_array(list(range(4096)), "data")
+        a = Assembler("wide")
+        a.li("r1", base)
+        a.li("r2", 0)
+        a.label("loop")
+        a.loadx("r3", "r1", "r2")         # striding; r3 vector (1)
+        for k in range(9):                # r4..r12 all become vector
+            a.addi(f"r{4 + k}", "r3", k)
+        a.addi("r2", "r2", 1)
+        a.jmp("loop")
+        program = a.build()
+        regs = [0] * 32
+        regs[1] = base
+        subthread, _, ports = make_env(program, mem)
+        subthread.spawn(2, 8, base, regs, 16, flr_pc=-1,
+                        terminate_at_stride=True)
+        run_subthread(subthread, ports)
+        assert subthread.stats.vrat_kills == 1
+        assert subthread.done
+
+    def test_issue_slots_respected(self):
+        """With no spare slots the subthread makes no progress."""
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, ports = make_env(program, mem)
+        subthread.spawn(5, 8, bases[0] + 800, regs, 16, flr_pc=7)
+        from repro.uarch.dynins import FU_ALU, FU_MEM
+        for now in range(1, 50):
+            ports.new_cycle()
+            while ports.spare_slots > 0:  # main thread hogs everything
+                ports.claim(FU_ALU if ports.can_issue(FU_ALU) else FU_MEM)
+            subthread.step(now, ports)
+        assert subthread.stats.lane_loads_issued == 0
+
+    def test_release_allows_respawn(self):
+        mem = GuestMemory(32 * 1024 * 1024)
+        program, bases, regs = chain_program(mem)
+        subthread, _, ports = make_env(program, mem)
+        for _ in range(3):
+            assert subthread.spawn(5, 8, bases[0] + 800, regs, 8, flr_pc=7)
+            run_subthread(subthread, ports)
+        assert subthread.stats.invocations == 3

@@ -1,0 +1,161 @@
+"""Timing-discipline tests for the Vector Issue Register model: vector
+copies consume issue slots over multiple cycles, loads respect memory
+ports and MSHRs, and the subthread only ever uses slots the main thread
+left over."""
+
+import random
+
+import pytest
+
+from repro.config import DvrConfig, SimConfig
+from repro.core.subthread import SubthreadStats, VectorSubthread
+from repro.isa import Assembler, GuestMemory
+from repro.memsys import MemoryHierarchy
+from repro.uarch.dynins import FU_ALU, FU_MEM
+from repro.uarch.scheduler import IssuePorts
+
+
+def vector_alu_program(mem, n=4096):
+    """Striding load followed by a long all-vector ALU tail."""
+    base = mem.alloc_array(list(range(n)), "data")
+    a = Assembler("alu-tail")
+    a.li("r1", base)
+    a.li("r2", 0)
+    a.label("loop")
+    a.loadx("r3", "r1", "r2")   # pc 2: striding load (dest r3 vectorized)
+    a.addi("r4", "r3", 1)       # vector
+    a.addi("r5", "r4", 1)       # vector
+    a.addi("r6", "r5", 1)       # vector
+    a.addi("r2", "r2", 1)
+    a.jmp("loop")
+    regs = [0] * 32
+    regs[1] = base
+    return a.build(), regs, base
+
+
+def make_subthread(program, mem, dvr_config=None):
+    config = SimConfig()
+    dvr_config = dvr_config or config.dvr
+    hierarchy = MemoryHierarchy(config.memsys, config.stride_pf,
+                                config.imp, mem)
+    subthread = VectorSubthread(program, mem, hierarchy, config.core,
+                                dvr_config, source="dvr",
+                                stats=SubthreadStats())
+    return subthread, hierarchy, IssuePorts(config.core)
+
+
+class TestVirIssueCost:
+    def test_vector_alu_takes_multiple_cycles(self):
+        """128 lanes = 16 copies; with 4 ALU slots/cycle (and width 5)
+        each vector ALU op needs >= 4 cycles to issue."""
+        mem = GuestMemory(16 * 1024 * 1024)
+        program, regs, base = vector_alu_program(mem)
+        subthread, hierarchy, ports = make_subthread(program, mem)
+        subthread.spawn(2, 8, base, regs, 128, flr_pc=-1,
+                        terminate_at_stride=True)
+        # Run until the gather has completed and count cycles spent on
+        # the first vector ALU op (pc 3).
+        now = 0
+        while subthread.pc != 3 or subthread._phase != "exec_issue":
+            now += 1
+            ports.new_cycle()
+            subthread.step(now, ports)
+            hierarchy.tick(now)
+            assert now < 100_000
+        start = now
+        while subthread.pc == 3:
+            now += 1
+            ports.new_cycle()
+            subthread.step(now, ports)
+        assert now - start >= 3  # 16 copies / 4 ALU slots per cycle
+
+    def test_fewer_lanes_cost_fewer_slots(self):
+        mem = GuestMemory(16 * 1024 * 1024)
+        program, regs, base = vector_alu_program(mem)
+        subthread, _, _ = make_subthread(program, mem)
+        subthread.spawn(2, 8, base, regs, 8, flr_pc=-1,
+                        terminate_at_stride=True)
+        assert subthread._vector_cost() == 1
+        subthread.active = list(range(128))
+        assert subthread._vector_cost() == 16
+        subthread.active = list(range(9))
+        assert subthread._vector_cost() == 2
+
+    def test_gather_respects_mem_ports(self):
+        """Per cycle, one mem-port slot covers 8 lane loads; with 2 mem
+        ports at most 16 lane loads issue per cycle."""
+        mem = GuestMemory(64 * 1024 * 1024)
+        program, regs, base = vector_alu_program(mem, n=65536)
+        subthread, hierarchy, ports = make_subthread(program, mem)
+        subthread.spawn(2, 8, base, regs, 128, flr_pc=-1,
+                        terminate_at_stride=True)
+        issued_before = subthread.stats.lane_loads_issued
+        ports.new_cycle()
+        subthread.step(1, ports)
+        issued = subthread.stats.lane_loads_issued - issued_before
+        assert issued <= 2 * 8
+
+    def test_main_thread_priority(self):
+        """The subthread gets only leftover slots: if the main thread
+        claims all width, the subthread issues nothing that cycle."""
+        mem = GuestMemory(16 * 1024 * 1024)
+        program, regs, base = vector_alu_program(mem)
+        subthread, _, ports = make_subthread(program, mem)
+        subthread.spawn(2, 8, base, regs, 128, flr_pc=-1,
+                        terminate_at_stride=True)
+        ports.new_cycle()
+        while ports.spare_slots:
+            ports.claim(FU_MEM if ports.can_issue(FU_MEM) else FU_ALU)
+        before = subthread.stats.lane_loads_issued
+        subthread.step(1, ports)
+        assert subthread.stats.lane_loads_issued == before
+
+
+class TestMshrInteraction:
+    def test_gather_stalls_on_full_mshrs_and_recovers(self):
+        mem = GuestMemory(64 * 1024 * 1024)
+        program, regs, base = vector_alu_program(mem, n=65536)
+        subthread, hierarchy, ports = make_subthread(program, mem)
+        # Fill the MSHR file with unrelated misses.
+        for k in range(24):
+            hierarchy.demand_load(32 * 1024 * 1024 + k * 64, 1, 0, 0)
+        subthread.spawn(2, 8, base, regs, 64, flr_pc=-1,
+                        terminate_at_stride=True)
+        ports.new_cycle()
+        subthread.step(1, ports)
+        assert subthread.stats.lane_loads_issued == 0  # blocked
+        # After the fills return, issue proceeds.
+        hierarchy.tick(1_000)
+        ports.new_cycle()
+        subthread.step(1_000, ports)
+        assert subthread.stats.lane_loads_issued > 0
+
+
+class TestStorePath:
+    def test_demand_store_write_allocates(self):
+        config = SimConfig()
+        mem = GuestMemory(16 * 1024 * 1024)
+        hierarchy = MemoryHierarchy(config.memsys, config.stride_pf,
+                                    config.imp, mem)
+        hierarchy.demand_store(0x20000, now=0)
+        assert hierarchy.l1d.contains(0x20000 >> 6)
+        assert hierarchy.stats.demand_stores == 1
+
+    def test_demand_store_hit_is_fast(self):
+        config = SimConfig()
+        mem = GuestMemory(16 * 1024 * 1024)
+        hierarchy = MemoryHierarchy(config.memsys, config.stride_pf,
+                                    config.imp, mem)
+        hierarchy.demand_store(0x20000, now=0)
+        complete = hierarchy.demand_store(0x20000, now=500)
+        assert complete == 500 + config.memsys.l1d.latency
+
+    def test_store_survives_full_mshrs(self):
+        config = SimConfig()
+        mem = GuestMemory(64 * 1024 * 1024)
+        hierarchy = MemoryHierarchy(config.memsys, config.stride_pf,
+                                    config.imp, mem)
+        for k in range(24):
+            hierarchy.demand_load(0x100000 + k * 64, 1, 0, 0)
+        complete = hierarchy.demand_store(0x900000, now=0)
+        assert complete >= 0  # store buffered, no deadlock

@@ -1,0 +1,99 @@
+"""Tests for the figure/table experiment definitions at micro scale.
+
+These run real (tiny) simulations through every experiment function and
+check the result structures are well-formed and the trends the benches
+assert on are computable.  The heavyweight, paper-scale runs live under
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.harness.experiments import (ALL_EXPERIMENTS, ExperimentScale,
+                                       fig2_rob_sweep, fig7_performance,
+                                       fig8_breakdown, fig9_mlp,
+                                       fig10_accuracy, fig11_timeliness,
+                                       fig12_dvr_rob, table1_config,
+                                       table2_graphs)
+
+
+@pytest.fixture(scope="module")
+def micro_scale(request):
+    """One tiny GAP input + two small hpc-db kernels, 3k-instr ROIs."""
+    from repro.workloads.graphs import GRAPH_INPUTS, GraphSpec
+    name = "XPG"
+    GRAPH_INPUTS[name] = GraphSpec(name, "rmat", 10, 10)
+    request.addfinalizer(lambda: GRAPH_INPUTS.pop(name, None))
+    return ExperimentScale(gap_graphs=(name,),
+                           hpcdb=("kangaroo", "nas-is"),
+                           max_instructions=3_000)
+
+
+class TestStructure:
+    def test_registry_covers_every_artifact(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12"}
+
+    def test_table1_static(self):
+        result = table1_config()
+        assert len(result.rows) >= 10
+        assert result.render()
+
+
+class TestFigureRuns:
+    def test_fig7(self, micro_scale):
+        result = fig7_performance(micro_scale)
+        # 5 GAP kernels x 1 graph + 2 hpc-db + H-mean row.
+        assert len(result.rows) == 5 + 2 + 1
+        assert result.rows[-1][0] == "H-mean"
+        for row in result.rows:
+            for value in row[1:]:
+                assert value > 0
+        assert "dvr" in result.headers
+
+    def test_fig8(self, micro_scale):
+        result = fig8_breakdown(micro_scale)
+        assert result.headers[1:] == ["vr", "dvr-offload", "dvr-discovery",
+                                      "dvr"]
+        assert all(value > 0 for value in result.rows[-1][1:])
+
+    def test_fig9(self, micro_scale):
+        result = fig9_mlp(micro_scale)
+        means = dict(zip(result.headers[1:], result.rows[-1][1:]))
+        assert 0 < means["OoO"] <= 24
+        assert 0 < means["DVR"] <= 24
+
+    def test_fig10(self, micro_scale):
+        result = fig10_accuracy(micro_scale)
+        for row in result.rows:
+            assert all(value >= 0 for value in row[1:])
+
+    def test_fig11(self, micro_scale):
+        result = fig11_timeliness(micro_scale)
+        for row in result.rows:
+            total = sum(row[1:])
+            assert total == pytest.approx(100.0, abs=1e-6) or total == 0.0
+
+    def test_fig2_micro(self, micro_scale):
+        result = fig2_rob_sweep(micro_scale, rob_sizes=(128, 350))
+        sizes = [row[0] for row in result.rows]
+        assert sizes == [128, 350]
+        stall = {row[0]: row[3] for row in result.rows}
+        assert 0 <= stall[350] <= 100
+
+    def test_fig12_micro(self, micro_scale):
+        result = fig12_dvr_rob(micro_scale, rob_sizes=(128, 350))
+        for row in result.rows:
+            assert row[2] > 0  # DVR speedup positive
+
+    def test_fig12_scaled_backend(self, micro_scale):
+        result = fig12_dvr_rob(micro_scale, rob_sizes=(350,),
+                               scale_backend=True)
+        assert result.rows[0][2] > 0
+
+    def test_table2(self, micro_scale):
+        result = table2_graphs(micro_scale)
+        names = [row[0] for row in result.rows]
+        # All registered inputs appear, including the paper's five.
+        for expected in ("KR", "UR"):
+            assert expected in names

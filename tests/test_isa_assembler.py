@@ -1,0 +1,150 @@
+"""Tests for the assembler DSL and program container."""
+
+import pytest
+
+from repro.isa import Assembler, AssemblyError, Op
+
+
+class TestRegisters:
+    def test_string_register(self):
+        a = Assembler()
+        ins = a.li("r7", 1)
+        assert ins.rd == 7
+
+    def test_int_register(self):
+        a = Assembler()
+        ins = a.li(9, 1)
+        assert ins.rd == 9
+
+    def test_alias(self):
+        a = Assembler()
+        a.alias("rBase", 12)
+        ins = a.load("r1", "rBase", 8)
+        assert ins.rs1 == 12
+
+    def test_unknown_register_rejected(self):
+        a = Assembler()
+        with pytest.raises(AssemblyError):
+            a.li("bogus", 1)
+
+    def test_out_of_range_register_rejected(self):
+        a = Assembler()
+        with pytest.raises(AssemblyError):
+            a.li("r32", 1)
+
+
+class TestLabels:
+    def test_forward_reference_resolves(self):
+        a = Assembler()
+        a.jmp("end")
+        a.nop()
+        a.label("end")
+        a.halt()
+        program = a.build()
+        assert program[0].target == 2
+
+    def test_backward_reference_resolves(self):
+        a = Assembler()
+        a.label("top")
+        a.nop()
+        a.bnz("r1", "top")
+        program = a.build()
+        assert program[1].target == 0
+
+    def test_undefined_label_raises_at_build(self):
+        a = Assembler()
+        a.jmp("nowhere")
+        with pytest.raises(AssemblyError, match="nowhere"):
+            a.build()
+
+    def test_duplicate_label_rejected(self):
+        a = Assembler()
+        a.label("x")
+        with pytest.raises(AssemblyError):
+            a.label("x")
+
+    def test_here_tracks_position(self):
+        a = Assembler()
+        assert a.here() == 0
+        a.nop()
+        assert a.here() == 1
+
+
+class TestEncoding:
+    def test_loadx_scale_default(self):
+        a = Assembler()
+        ins = a.loadx("r1", "r2", "r3")
+        assert ins.imm == 8
+
+    def test_loadx_custom_scale(self):
+        a = Assembler()
+        ins = a.loadx("r1", "r2", "r3", scale=1)
+        assert ins.imm == 1
+
+    def test_storex_registers(self):
+        a = Assembler()
+        ins = a.storex("r1", "r2", "r3")
+        assert (ins.rs3, ins.rs1, ins.rs2) == (1, 2, 3)
+
+    def test_store_offset(self):
+        a = Assembler()
+        ins = a.store("r1", "r2", 16)
+        assert ins.rs3 == 1 and ins.rs1 == 2 and ins.imm == 16
+
+    def test_every_alu_helper_emits_expected_opcode(self):
+        a = Assembler()
+        cases = [
+            (a.add("r1", "r2", "r3"), Op.ADD),
+            (a.sub("r1", "r2", "r3"), Op.SUB),
+            (a.mul("r1", "r2", "r3"), Op.MUL),
+            (a.div("r1", "r2", "r3"), Op.DIV),
+            (a.and_("r1", "r2", "r3"), Op.AND),
+            (a.or_("r1", "r2", "r3"), Op.OR),
+            (a.xor("r1", "r2", "r3"), Op.XOR),
+            (a.shl("r1", "r2", "r3"), Op.SHL),
+            (a.shr("r1", "r2", "r3"), Op.SHR),
+            (a.addi("r1", "r2", 1), Op.ADDI),
+            (a.muli("r1", "r2", 2), Op.MULI),
+            (a.andi("r1", "r2", 3), Op.ANDI),
+            (a.shli("r1", "r2", 4), Op.SHLI),
+            (a.shri("r1", "r2", 5), Op.SHRI),
+            (a.mov("r1", "r2"), Op.MOV),
+            (a.hash("r1", "r2"), Op.HASH),
+            (a.cmplt("r1", "r2", "r3"), Op.CMPLT),
+            (a.cmple("r1", "r2", "r3"), Op.CMPLE),
+            (a.cmpeq("r1", "r2", "r3"), Op.CMPEQ),
+            (a.cmpne("r1", "r2", "r3"), Op.CMPNE),
+            (a.cmplti("r1", "r2", 6), Op.CMPLTI),
+            (a.cmpeqi("r1", "r2", 7), Op.CMPEQI),
+        ]
+        for ins, op in cases:
+            assert ins.op == op
+
+
+class TestProgram:
+    def _program(self):
+        a = Assembler("demo")
+        a.label("start")
+        a.li("r1", 5)
+        a.bnz("r1", "start")
+        a.halt()
+        return a.build()
+
+    def test_pcs_assigned_sequentially(self):
+        program = self._program()
+        assert [ins.pc for ins in program] == [0, 1, 2]
+
+    def test_len_and_indexing(self):
+        program = self._program()
+        assert len(program) == 3
+        assert program[2].op == Op.HALT
+
+    def test_label_at(self):
+        program = self._program()
+        assert program.label_at(0) == ["start"]
+        assert program.label_at(1) == []
+
+    def test_disassemble_contains_labels_and_ops(self):
+        text = self._program().disassemble()
+        assert "start:" in text
+        assert "li" in text and "halt" in text

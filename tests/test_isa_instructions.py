@@ -1,0 +1,108 @@
+"""Unit and property tests for the guest instruction definitions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import (Instruction, Op, OP_NAMES, hash64,
+                                    to_signed64)
+
+
+class TestOpcodes:
+    def test_all_opcodes_named(self):
+        for value in range(Op.COUNT):
+            assert value in OP_NAMES
+
+    def test_opcode_values_unique(self):
+        values = [v for k, v in vars(Op).items()
+                  if not k.startswith("_") and k != "COUNT"]
+        assert len(values) == len(set(values))
+
+    def test_count_covers_all(self):
+        values = [v for k, v in vars(Op).items()
+                  if not k.startswith("_") and k != "COUNT"]
+        assert max(values) == Op.COUNT - 1
+
+
+class TestInstructionClassification:
+    def test_load_flags(self):
+        ins = Instruction(Op.LOADX, rd=1, rs1=2, rs2=3, imm=8)
+        assert ins.is_load and not ins.is_store and not ins.is_branch
+
+    def test_store_has_no_dest(self):
+        ins = Instruction(Op.STOREX, rs1=1, rs2=2, rs3=3, imm=8)
+        assert ins.is_store and not ins.writes_reg
+
+    def test_conditional_branch_flags(self):
+        bnz = Instruction(Op.BNZ, rs1=1, target=5)
+        jmp = Instruction(Op.JMP, target=5)
+        assert bnz.is_branch and bnz.is_cond_branch
+        assert jmp.is_branch and not jmp.is_cond_branch
+
+    def test_compare_flags(self):
+        for op in (Op.CMPLT, Op.CMPLE, Op.CMPEQ, Op.CMPNE, Op.CMPLTI,
+                   Op.CMPEQI):
+            assert Instruction(op, rd=1, rs1=2, rs2=3).is_compare
+
+    def test_srcs_collects_registers_in_order(self):
+        ins = Instruction(Op.STOREX, rs1=4, rs2=5, rs3=6, imm=8)
+        assert ins.srcs == (4, 5, 6)
+
+    def test_srcs_skips_unused(self):
+        ins = Instruction(Op.ADDI, rd=1, rs1=2, imm=3)
+        assert ins.srcs == (2,)
+
+    def test_repr_mentions_name_and_pc(self):
+        ins = Instruction(Op.ADD, rd=1, rs1=2, rs2=3, pc=7)
+        assert "add" in repr(ins) and "7" in repr(ins)
+
+
+class TestToSigned64:
+    def test_identity_in_range(self):
+        assert to_signed64(42) == 42
+        assert to_signed64(-42) == -42
+
+    def test_wraps_overflow(self):
+        assert to_signed64(1 << 63) == -(1 << 63)
+        assert to_signed64((1 << 64) - 1) == -1
+        assert to_signed64(1 << 64) == 0
+
+    @given(st.integers())
+    def test_always_in_signed_range(self, value):
+        result = to_signed64(value)
+        assert -(1 << 63) <= result < (1 << 63)
+
+    @given(st.integers())
+    def test_idempotent(self, value):
+        assert to_signed64(to_signed64(value)) == to_signed64(value)
+
+    @given(st.integers(), st.integers())
+    def test_congruent_mod_2_64(self, a, b):
+        if (a - b) % (1 << 64) == 0:
+            assert to_signed64(a) == to_signed64(b)
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64(12345) == hash64(12345)
+
+    def test_spreads_consecutive_inputs(self):
+        outputs = {hash64(i) & 0xFFFF for i in range(256)}
+        # A decent mixer maps 256 consecutive ints to ~256 distinct
+        # 16-bit suffixes.
+        assert len(outputs) > 240
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_output_in_signed_range(self, value):
+        result = hash64(value)
+        assert -(1 << 63) <= result < (1 << 63)
+
+    @given(st.integers())
+    def test_accepts_unwrapped_input(self, value):
+        assert hash64(value) == hash64(to_signed64(value))
+
+    def test_avalanche(self):
+        """Flipping one input bit should flip ~half the output bits."""
+        base = hash64(0x123456789)
+        flipped = hash64(0x123456789 ^ 1)
+        differing = bin((base ^ flipped) & ((1 << 64) - 1)).count("1")
+        assert 16 <= differing <= 48

@@ -1,0 +1,119 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CacheConfig
+from repro.memsys.cache import Cache, CacheLine, SRC_DEMAND, SRC_DVR
+
+
+def make_cache(size=4096, assoc=4, latency=2):
+    return Cache(CacheConfig(size, assoc, latency), "test")
+
+
+def line(source=SRC_DEMAND, ready_at=0, origin="L1"):
+    return CacheLine(source, ready_at, origin)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(100) is None
+        cache.install(100, line())
+        assert cache.lookup(100) is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_contains_has_no_side_effects(self):
+        cache = make_cache()
+        cache.install(5, line())
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(5)
+        assert not cache.contains(6)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_peek_returns_metadata(self):
+        cache = make_cache()
+        metadata = line(source=SRC_DVR)
+        cache.install(5, metadata)
+        assert cache.peek(5) is metadata
+        assert cache.peek(6) is None
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.install(5, line())
+        cache.invalidate(5)
+        assert not cache.contains(5)
+
+    def test_num_sets_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Cache(CacheConfig(3 * 64, 1, 1), "bad")
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = make_cache(size=4 * 64, assoc=4)  # one set
+        for addr in range(4):
+            cache.install(addr, line())
+        cache.lookup(0)  # refresh 0
+        evicted = cache.install(99, line())
+        assert evicted is not None
+        assert evicted[0] == 1  # 1 is now the oldest
+
+    def test_install_refill_keeps_existing_line(self):
+        cache = make_cache()
+        original = line(source=SRC_DVR, ready_at=100)
+        cache.install(7, original)
+        cache.install(7, line(source=SRC_DEMAND, ready_at=50))
+        kept = cache.peek(7)
+        assert kept is original
+        assert kept.ready_at == 50  # earlier fill wins
+
+    def test_set_isolation(self):
+        cache = make_cache(size=8 * 64, assoc=4)  # two sets
+        # Same set = even line addrs; fill set 0 beyond capacity.
+        for k in range(5):
+            cache.install(k * 2, line())
+        assert cache.contains(1) is False
+        # Set 1 untouched by set-0 evictions.
+        cache.install(1, line())
+        assert cache.contains(1)
+
+    def test_full_set_evicts_exactly_one(self):
+        cache = make_cache(size=4 * 64, assoc=4)
+        for addr in range(4):
+            cache.install(addr, line())
+        evicted = cache.install(4, line())
+        assert evicted is not None
+        present = sum(1 for addr in range(5) if cache.contains(addr))
+        assert present == 4
+
+
+class TestSharedLineObjects:
+    def test_used_bit_shared_across_levels(self):
+        l1 = make_cache()
+        l2 = make_cache(size=8192)
+        shared = line(source=SRC_DVR)
+        l1.install(3, shared)
+        l2.install(3, shared)
+        l1.peek(3).used = True
+        assert l2.peek(3).used
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=200))
+def test_property_occupancy_never_exceeds_capacity(addresses):
+    cache = make_cache(size=4 * 64 * 2, assoc=4)  # 2 sets x 4 ways
+    for addr in addresses:
+        if cache.lookup(addr) is None:
+            cache.install(addr, line())
+    for set_index in range(cache.num_sets):
+        assert len(cache._sets[set_index]) <= cache.assoc
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=100))
+def test_property_most_recent_install_always_resident(addresses):
+    cache = make_cache(size=4 * 64 * 2, assoc=4)
+    for addr in addresses:
+        cache.install(addr, line())
+        assert cache.contains(addr)

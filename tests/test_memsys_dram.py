@@ -1,0 +1,61 @@
+"""Tests for the DRAM latency/bandwidth model."""
+
+from repro.config import MemSysConfig
+from repro.memsys.dram import Dram
+
+
+def make_dram():
+    return Dram(MemSysConfig())
+
+
+class TestLatency:
+    def test_idle_request_pays_min_latency(self):
+        dram = make_dram()
+        assert dram.request(1000) == 1200
+
+    def test_back_to_back_requests_queue(self):
+        dram = make_dram()
+        first = dram.request(0)
+        second = dram.request(0)
+        assert first == 200
+        assert second == 205  # one line interval behind
+
+    def test_spread_requests_do_not_queue(self):
+        dram = make_dram()
+        dram.request(0)
+        assert dram.request(100) == 300  # channel free again
+
+    def test_queue_delay_accounting(self):
+        dram = make_dram()
+        for _ in range(4):
+            dram.request(0)
+        assert dram.total_queue_delay == 5 + 10 + 15
+        assert dram.average_queue_delay == (5 + 10 + 15) / 4
+
+    def test_queue_delay_estimate(self):
+        dram = make_dram()
+        dram.request(0)
+        assert dram.queue_delay_estimate(0) == 5
+        assert dram.queue_delay_estimate(100) == 0
+
+
+class TestOccupy:
+    def test_occupy_claims_slots_without_latency(self):
+        dram = make_dram()
+        first = dram.occupy()
+        second = dram.occupy()
+        assert second == first + 5
+
+    def test_occupy_counts_requests(self):
+        dram = make_dram()
+        dram.occupy()
+        dram.request(0)
+        assert dram.requests == 2
+
+    def test_bandwidth_bound_sequence(self):
+        """N lines take at least N * line_interval channel cycles."""
+        dram = make_dram()
+        last = 0
+        for _ in range(100):
+            last = dram.occupy()
+        assert last >= 99 * 5

@@ -1,0 +1,146 @@
+"""Tests for the stride prefetcher and IMP."""
+
+from repro.config import ImpConfig, StridePrefetcherConfig
+from repro.isa import GuestMemory
+from repro.memsys.cache import Cache, CacheLine
+from repro.config import CacheConfig
+from repro.memsys.imp import IndirectMemoryPrefetcher
+from repro.memsys.stride_prefetcher import StridePrefetcher
+
+
+def trained_stride_pf(pc=7, base=0x1000, stride=64, steps=4):
+    pf = StridePrefetcher(StridePrefetcherConfig(enabled=True))
+    out = ()
+    for k in range(steps):
+        out = pf.observe(pc, base + k * stride)
+    return pf, out
+
+
+class TestStridePrefetcher:
+    def test_untrained_returns_nothing(self):
+        pf = StridePrefetcher(StridePrefetcherConfig(enabled=True))
+        assert pf.observe(1, 0x1000) == ()
+        assert pf.observe(1, 0x1040) == ()  # first stride observation
+
+    def test_trained_emits_ahead_of_stream(self):
+        pf, out = trained_stride_pf()
+        config = StridePrefetcherConfig()
+        assert len(out) == config.degree
+        expected_first = 0x1000 + 3 * 64 + 64 * config.distance
+        assert out[0] == expected_first
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher(StridePrefetcherConfig(enabled=True))
+        out = ()
+        for k in range(4):
+            out = pf.observe(3, 0x10000 - k * 64)
+        assert all(addr < 0x10000 - 3 * 64 for addr in out)
+
+    def test_stride_change_resets_confidence(self):
+        pf, _ = trained_stride_pf()
+        assert pf.observe(7, 0x1000 + 999) == ()  # broken pattern
+
+    def test_is_striding(self):
+        pf, _ = trained_stride_pf()
+        assert pf.is_striding(7)
+        assert not pf.is_striding(8)
+
+    def test_stream_capacity_lru(self):
+        config = StridePrefetcherConfig(enabled=True, streams=2)
+        pf = StridePrefetcher(config)
+        pf.observe(1, 100)
+        pf.observe(2, 200)
+        pf.observe(3, 300)  # evicts pc 1
+        assert pf.entry(1) is None
+        assert pf.entry(2) is not None
+
+    def test_disabled_never_trains(self):
+        pf = StridePrefetcher(StridePrefetcherConfig(enabled=False))
+        for k in range(8):
+            assert pf.observe(1, k * 64) == ()
+
+    def test_small_stride_prefetches_distinct_lines(self):
+        pf = StridePrefetcher(StridePrefetcherConfig(enabled=True))
+        out = ()
+        for k in range(5):
+            out = pf.observe(9, 0x2000 + k * 8)  # 8-byte stride
+        lines = {addr >> 6 for addr in out}
+        assert len(lines) == len(out)
+
+
+def make_imp(l1=None):
+    mem = GuestMemory(1 << 22)
+    imp = IndirectMemoryPrefetcher(ImpConfig(enabled=True), mem, l1_cache=l1)
+    return imp, mem
+
+
+class TestImp:
+    def _train(self, imp, base=0x100000, shift=3, index_pc=7):
+        """Feed (index value, miss at base + value<<shift) pairs."""
+        for k, value in enumerate([10, 20, 30]):
+            imp.observe_index_load(index_pc, 0x1000 + k * 8, value, stride=8)
+            imp.observe_miss(base + (value << shift))
+
+    def test_pattern_confirmation(self):
+        imp, _ = make_imp()
+        self._train(imp)
+        assert imp.patterns_confirmed >= 1
+        entry = imp._entries[7]
+        assert entry.confirmed
+        assert entry.base == 0x100000 and entry.shift == 3
+
+    def test_prefetches_follow_future_index_values(self):
+        imp, mem = make_imp()
+        self._train(imp)
+        # Future index values live in the index array.
+        index_base = 0x1000
+        for k in range(40):
+            mem.write_word(index_base + k * 8, 100 + k)
+        out = imp.observe_index_load(7, index_base + 3 * 8, 99, stride=8)
+        config = ImpConfig()
+        assert len(out) == config.degree
+        expect0 = 0x100000 + ((100 + 3 + config.distance) << 3)
+        assert out[0] == expect0
+
+    def test_blocked_when_index_line_not_cached(self):
+        l1 = Cache(CacheConfig(32 * 1024, 8, 4), "L1")
+        imp, mem = make_imp(l1=l1)
+        self._train(imp)
+        out = imp.observe_index_load(7, 0x1000, 50, stride=8)
+        assert out == []
+        assert imp.index_reads_blocked > 0
+
+    def test_allowed_when_index_line_cached(self):
+        l1 = Cache(CacheConfig(32 * 1024, 8, 4), "L1")
+        imp, mem = make_imp(l1=l1)
+        self._train(imp)
+        # Make every index line resident.
+        for line_addr in range(0, 0x4000 >> 6):
+            l1.install(line_addr, CacheLine("demand", 0, "L1"))
+        out = imp.observe_index_load(7, 0x1000, 50, stride=8)
+        assert len(out) > 0
+
+    def test_no_prefetch_without_confirmation(self):
+        imp, _ = make_imp()
+        imp.observe_index_load(7, 0x1000, 10, stride=8)
+        out = imp.observe_index_load(7, 0x1008, 20, stride=8)
+        assert out == ()
+
+    def test_disabled(self):
+        mem = GuestMemory(1 << 20)
+        imp = IndirectMemoryPrefetcher(ImpConfig(enabled=False), mem)
+        imp.observe_miss(0x2000)
+        assert imp.observe_index_load(1, 0x100, 5, 8) == ()
+        assert not imp._entries
+
+    def test_zero_stride_produces_nothing(self):
+        imp, _ = make_imp()
+        self._train(imp)
+        assert imp.observe_index_load(7, 0x1000, 50, stride=0) == ()
+
+    def test_table_capacity_bounded(self):
+        imp, _ = make_imp()
+        for pc in range(40):
+            imp.observe_index_load(pc, 0x1000, pc, stride=8)
+            imp.observe_miss(0x100000 + pc * 64)
+        assert len(imp._entries) <= ImpConfig().table_entries

@@ -1,0 +1,62 @@
+"""Additional property-based tests on component invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MemSysConfig
+from repro.memsys.dram import Dram
+from repro.workloads.graphs import GraphSpec, build_csr, rmat_edges
+
+import numpy as np
+
+
+class TestDramProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=100))
+    def test_fills_monotone_in_arrival_order(self, arrivals):
+        """Requests issued in time order complete in time order (FIFO
+        channel), and never faster than the minimum latency."""
+        dram = Dram(MemSysConfig())
+        arrivals = sorted(arrivals)
+        last_fill = -1
+        for now in arrivals:
+            fill = dram.request(now)
+            assert fill >= now + dram.latency
+            assert fill >= last_fill
+            last_fill = fill
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_burst_throughput_is_line_interval(self, burst):
+        dram = Dram(MemSysConfig())
+        first = dram.request(0)
+        last = first
+        for _ in range(burst - 1):
+            last = dram.request(0)
+        assert last - first == (burst - 1) * dram.line_interval
+
+
+class TestGraphProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=7, max_value=10),
+           st.integers(min_value=2, max_value=16),
+           st.integers(min_value=0, max_value=1000))
+    def test_csr_always_well_formed(self, log2_nodes, degree, seed):
+        spec = GraphSpec(f"p{log2_nodes}_{degree}_{seed}", "rmat",
+                         log2_nodes, degree)
+        offsets, neighbors = build_csr(spec, seed=seed)
+        assert offsets[0] == 0
+        assert offsets[-1] == len(neighbors) == spec.num_edges
+        assert np.all(np.diff(offsets) >= 0)
+        if len(neighbors):
+            assert 0 <= neighbors.min() and neighbors.max() < spec.num_nodes
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_rmat_skew_increases_with_a(self, seed):
+        """Higher RMAT `a` concentrates edges on fewer sources."""
+        rng1 = np.random.default_rng(seed)
+        rng2 = np.random.default_rng(seed)
+        mild_src, _ = rmat_edges(10, 8192, rng1, 0.40, 0.20, 0.20)
+        harsh_src, _ = rmat_edges(10, 8192, rng2, 0.70, 0.10, 0.10)
+        mild_max = np.bincount(mild_src, minlength=1024).max()
+        harsh_max = np.bincount(harsh_src, minlength=1024).max()
+        assert harsh_max >= mild_max

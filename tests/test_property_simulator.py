@@ -1,0 +1,127 @@
+"""Property-based whole-simulator invariants.
+
+Random guest programs are generated (straight-line arithmetic, memory
+accesses into a scratch array, and a bounded counting loop) and run both
+through the pure functional interpreter and the full cycle-level core.
+The architectural results must be identical -- the timing model must
+never change what a program computes.  On top of that, every runahead
+technique is speculative-only: running the same program under any engine
+must produce the same final architectural state.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.isa import Assembler, GuestMemory, run_functional
+from repro.memsys import MemoryHierarchy
+from repro.uarch import OoOCore
+
+SCRATCH_WORDS = 512
+
+# Register conventions for generated programs:
+#   r1 = scratch base, r2 = loop counter, r3 = loop bound,
+#   r4..r11 = computation registers.
+_COMPUTE_REGS = [f"r{k}" for k in range(4, 12)]
+
+
+@st.composite
+def random_body(draw):
+    """A list of (op, args) describing a loop body."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        kind = draw(st.sampled_from(
+            ["addi", "add", "mul", "xor", "shri", "hash", "cmplt",
+             "load", "store"]))
+        rd = draw(st.sampled_from(_COMPUTE_REGS))
+        rs1 = draw(st.sampled_from(_COMPUTE_REGS))
+        rs2 = draw(st.sampled_from(_COMPUTE_REGS))
+        imm = draw(st.integers(min_value=0, max_value=63))
+        ops.append((kind, rd, rs1, rs2, imm))
+    return ops
+
+
+def build_random_program(body, iterations):
+    a = Assembler("random")
+    mem = GuestMemory(4 * 1024 * 1024)
+    base = mem.alloc_array(list(range(SCRATCH_WORDS)), "scratch")
+    a.li("r1", base)
+    a.li("r2", 0)
+    a.li("r3", iterations)
+    for k, reg in enumerate(_COMPUTE_REGS):
+        a.li(reg, k * 3 + 1)
+    a.label("loop")
+    for kind, rd, rs1, rs2, imm in body:
+        if kind == "addi":
+            a.addi(rd, rs1, imm)
+        elif kind == "add":
+            a.add(rd, rs1, rs2)
+        elif kind == "mul":
+            a.mul(rd, rs1, rs2)
+        elif kind == "xor":
+            a.xor(rd, rs1, rs2)
+        elif kind == "shri":
+            a.shri(rd, rs1, imm % 8)
+        elif kind == "hash":
+            a.hash(rd, rs1)
+        elif kind == "cmplt":
+            a.cmplt(rd, rs1, rs2)
+        elif kind == "load":
+            # Clamp the index into the scratch array.
+            a.andi(rd, rs1, SCRATCH_WORDS - 1)
+            a.loadx(rd, "r1", rd)
+        elif kind == "store":
+            a.andi(rd, rs1, SCRATCH_WORDS - 1)
+            a.storex(rs2, "r1", rd)
+    a.addi("r2", "r2", 1)
+    a.cmplt("r12", "r2", "r3")
+    a.bnz("r12", "loop")
+    a.halt()
+    return a.build(), mem, base
+
+
+def run_timing(program, mem, technique="ooo"):
+    config = SimConfig(max_instructions=10_000_000
+                       ).with_technique(technique)
+    hierarchy = MemoryHierarchy(config.memsys, config.stride_pf, config.imp,
+                                mem)
+    from repro.harness.runner import build_engine
+    engine = build_engine(config, program, mem, hierarchy)
+    core = OoOCore(program, mem, config, hierarchy, engine=engine,
+                   perfect_memory=technique == "oracle")
+    stats = core.run(max_instructions=10_000_000)
+    return core, stats
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_body(), st.integers(min_value=1, max_value=40))
+def test_timing_model_preserves_architecture(body, iterations):
+    program, mem_f, base = build_random_program(body, iterations)
+    ref_regs, ref_count = run_functional(program, mem_f,
+                                         max_instructions=1_000_000)
+    program2, mem_t, _ = build_random_program(body, iterations)
+    core, stats = run_timing(program2, mem_t)
+    assert stats.halted
+    assert stats.committed == ref_count
+    assert core.regs == ref_regs
+    assert mem_t.words == mem_f.words
+
+
+@settings(max_examples=8, deadline=None)
+@given(random_body(), st.integers(min_value=5, max_value=30),
+       st.sampled_from(["pre", "vr", "dvr", "oracle"]))
+def test_runahead_never_changes_architecture(body, iterations, technique):
+    program_a, mem_a, _ = build_random_program(body, iterations)
+    run_timing(program_a, mem_a, technique="ooo")
+    program_b, mem_b, _ = build_random_program(body, iterations)
+    run_timing(program_b, mem_b, technique=technique)
+    assert mem_a.words == mem_b.words
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_body(), st.integers(min_value=1, max_value=30))
+def test_cycle_count_sane(body, iterations):
+    """Cycles are bounded below by committed/width and the run terminates."""
+    program, mem, _ = build_random_program(body, iterations)
+    _, stats = run_timing(program, mem)
+    assert stats.cycles >= stats.committed / SimConfig().core.width

@@ -1,0 +1,42 @@
+"""Public-API contract: everything the README shows must keep working."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_surface(self):
+        """The exact objects the README's quickstart uses."""
+        config = repro.SimConfig(max_instructions=1_000)
+        workload = repro.make_workload("nas-is", num_keys=2000,
+                                       log2_buckets=12)
+        metrics = repro.run_workload(workload, config, technique="dvr")
+        assert metrics.ipc > 0
+        assert isinstance(metrics.engine_stats, dict)
+        assert isinstance(metrics.timeliness_fractions("dvr"), dict)
+        assert isinstance(metrics.cpi_stack, dict)
+
+    def test_technique_constants_consistent(self):
+        assert repro.TECH_DVR in repro.ALL_TECHNIQUES
+        assert repro.TECH_ORACLE in repro.ALL_TECHNIQUES
+        assert repro.TECH_DVR_OFFLOAD in repro.DVR_BREAKDOWN
+
+    def test_benchmark_matrix_export(self):
+        pairs = repro.benchmark_matrix(small=True)
+        assert all(hasattr(factory, "build") for _, factory in pairs)
+
+    def test_paper_config_export(self):
+        config = repro.paper_config(technique="vr")
+        assert config.technique == "vr"
+        assert dict(repro.table1_rows(config))["ROB size"] == "350"
+
+    def test_hmean_export(self):
+        assert repro.hmean([2.0, 2.0]) == pytest.approx(2.0)

@@ -1,0 +1,182 @@
+"""Behavioral tests for the PRE, VR, Oracle and DVR engines running
+inside a real core on real kernels."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness.runner import run_built, run_techniques
+from tests.conftest import build_chain_workload
+
+
+def run(technique, workload=None, max_instructions=15_000, **build_kw):
+    workload = workload or build_chain_workload(n=16384, **build_kw)
+    config = SimConfig(max_instructions=max_instructions
+                       ).with_technique(technique)
+    return run_built(workload, config)
+
+
+class TestPre:
+    def test_triggers_on_rob_stalls(self):
+        metrics = run("pre")
+        assert metrics.engine_stats["pre_intervals"] > 0
+
+    def test_walks_future_instructions(self):
+        metrics = run("pre")
+        stats = metrics.engine_stats
+        assert stats["pre_instructions_walked"] > stats["pre_intervals"]
+
+    def test_never_slower_than_baseline_much(self):
+        base = run("ooo")
+        pre = run("pre")
+        assert pre.ipc > base.ipc * 0.95
+
+    def test_cannot_cover_second_indirection(self):
+        """PRE's INV semantics stop at the first missing level, so its
+        DRAM share stays small on a two-level chain (the paper's core
+        criticism of scalar runahead)."""
+        metrics = run("pre", workload=build_chain_workload(n=16384, levels=2))
+        pre_dram = metrics.dram_accesses.get("pre", 0)
+        demand_dram = metrics.dram_accesses.get("demand", 1)
+        assert pre_dram < demand_dram
+
+
+class TestVr:
+    def test_triggers_and_vectorizes(self):
+        metrics = run("vr")
+        stats = metrics.engine_stats
+        assert stats["vr_intervals"] > 0
+        assert stats["vr_lane_loads"] > 0
+
+    def test_delayed_termination_accounted(self):
+        metrics = run("vr")
+        assert metrics.engine_stats["vr_delayed_termination_cycles"] >= 0
+
+    def test_delayed_termination_bounded(self):
+        """Paper Section 3(2): delayed termination costs at most ~12% of
+        execution time."""
+        metrics = run("vr")
+        delay = metrics.engine_stats["vr_delayed_termination_cycles"]
+        assert delay < 0.25 * metrics.cycles
+
+    def test_runahead_dram_attributed(self):
+        metrics = run("vr")
+        assert metrics.dram_accesses.get("vr", 0) > 0
+
+
+class TestOracle:
+    def test_fastest_technique(self):
+        results = run_techniques(
+            build_chain_workload(n=16384),
+            ["ooo", "dvr", "oracle"],
+            SimConfig(max_instructions=15_000))
+        assert results["oracle"].ipc >= results["dvr"].ipc
+        assert results["oracle"].ipc > results["ooo"].ipc
+
+    def test_no_demand_dram_misses(self):
+        metrics = run("oracle")
+        assert metrics.dram_accesses.get("demand", 0) == 0
+        assert metrics.dram_accesses.get("oracle", 0) > 0
+
+    def test_architectural_result_unchanged(self):
+        built_a = build_chain_workload(n=512)
+        built_b = build_chain_workload(n=512)
+        config = SimConfig(max_instructions=200_000)
+        run_built(built_a, config.with_technique("ooo"))
+        run_built(built_b, config.with_technique("oracle"))
+        base = built_a.metadata["arrays"][-1]
+        n = built_a.metadata["n"]
+        assert (built_a.memory.read_array(base, n) ==
+                built_b.memory.read_array(base, n))
+
+
+class TestDvrEngine:
+    def test_spawns_decoupled_from_stalls(self, tiny_graph):
+        """DVR triggers even when the ROB never fills (Key Insight #1)."""
+        from repro.workloads.gap import Bfs
+        built = Bfs(graph=tiny_graph).build(memory_bytes=64 * 1024 * 1024)
+        config = SimConfig(max_instructions=8_000).with_technique("dvr")
+        metrics = run_built(built, config)
+        assert metrics.rob_full_cycles == 0 or metrics.rob_full_fraction < 0.05
+        assert metrics.engine_stats["dvr_spawns"] > 0
+
+    def test_never_blocks_main_thread(self):
+        metrics = run("dvr")
+        assert metrics.commit_blocked_runahead == 0
+
+    def test_speeds_up_indirect_chain(self):
+        base = run("ooo", workload=build_chain_workload(n=65536))
+        dvr = run("dvr", workload=build_chain_workload(n=65536))
+        assert dvr.ipc > base.ipc
+
+    def test_prefetches_are_used(self):
+        metrics = run("dvr")
+        used = metrics.prefetch_used.get("dvr", 0)
+        issued = metrics.prefetch_issued.get("dvr", 1)
+        assert used / issued > 0.5  # Discovery Mode keeps DVR accurate
+
+    def test_raises_mlp_over_baseline(self, tiny_graph):
+        from repro.workloads.gap import Bfs
+        config = SimConfig(max_instructions=8_000)
+        built = Bfs(graph=tiny_graph).build(memory_bytes=64 * 1024 * 1024)
+        base = run_built(built, config.with_technique("ooo"))
+        built = Bfs(graph=tiny_graph).build(memory_bytes=64 * 1024 * 1024)
+        dvr = run_built(built, config.with_technique("dvr"))
+        assert dvr.mlp > base.mlp
+
+    def test_architectural_result_identical_across_techniques(self):
+        """Runahead is speculative: it must never change guest state."""
+        finals = {}
+        for technique in ("ooo", "pre", "vr", "dvr"):
+            built = build_chain_workload(n=512)
+            config = SimConfig(max_instructions=200_000
+                               ).with_technique(technique)
+            run_built(built, config)
+            base = built.metadata["arrays"][-1]
+            finals[technique] = built.memory.read_array(base, 512)
+        assert all(v == finals["ooo"] for v in finals.values())
+
+
+class TestAblations:
+    def test_offload_mode_skips_discovery(self):
+        metrics = run("dvr-offload")
+        stats = metrics.engine_stats
+        assert stats["dvr_discoveries_started"] == 0
+        assert stats["dvr_spawns"] > 0
+
+    def test_discovery_mode_skips_nested(self, tiny_uniform_graph):
+        from repro.workloads.gap import Bfs
+        built = Bfs(graph=tiny_uniform_graph).build(
+            memory_bytes=64 * 1024 * 1024)
+        config = SimConfig(max_instructions=8_000
+                           ).with_technique("dvr-discovery")
+        metrics = run_built(built, config)
+        assert metrics.engine_stats["dvr_discoveries_started"] > 0
+        assert metrics.engine_stats["dvr_ndm_entries"] == 0
+
+    def test_full_dvr_uniformly_best_on_short_loops(self):
+        """Paper Fig 8: '+Discovery' alone can lose to blind Offload on
+        some loop shapes (the cc/pr double-edged sword), but the full
+        technique -- with Nested Runahead Mode -- is uniformly best."""
+        from tests.test_core_nested import nested_workload
+        config = SimConfig(max_instructions=10_000)
+        ipcs = {}
+        for technique in ("ooo", "dvr-offload", "dvr-discovery", "dvr"):
+            built = nested_workload(branchy=True)
+            metrics = run_built(built, config.with_technique(technique))
+            ipcs[technique] = metrics.ipc
+        assert ipcs["dvr"] >= max(ipcs.values()) * 0.999
+        assert ipcs["dvr"] > ipcs["ooo"]
+
+    def test_full_dvr_more_accurate_than_offload(self):
+        """Loop bounds + NDM make full DVR's prefetches more likely to be
+        used than blind 128-lane offload (paper Fig 10)."""
+        from tests.test_core_nested import nested_workload
+        config = SimConfig(max_instructions=10_000)
+        rates = {}
+        for technique in ("dvr-offload", "dvr"):
+            built = nested_workload(branchy=True)
+            metrics = run_built(built, config.with_technique(technique))
+            used = metrics.prefetch_used.get("dvr", 0)
+            issued = max(1, metrics.prefetch_issued.get("dvr", 0))
+            rates[technique] = used / issued
+        assert rates["dvr"] > rates["dvr-offload"]

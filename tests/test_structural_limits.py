@@ -1,0 +1,114 @@
+"""Structural-hazard edge cases: issue-queue / store-queue blocking,
+prefetch-pollution accounting, and the VR termination-grace knob."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness.runner import run_built
+from repro.isa import Assembler, GuestMemory
+from repro.memsys import MemoryHierarchy
+from repro.memsys.cache import CacheLine
+from repro.uarch import OoOCore
+from repro.workloads.base import BuiltWorkload
+from tests.conftest import build_chain_workload
+
+
+def dependent_miss_program(n=2048):
+    """Every instruction depends on a missing load: the IQ fills with
+    waiters."""
+    import random
+    rnd = random.Random(5)
+    mem = GuestMemory(64 * 1024 * 1024)
+    permutation = list(range(1 << 16))
+    rnd.shuffle(permutation)
+    base = mem.alloc_array(permutation, "data")
+    a = Assembler("chase")
+    a.li("r1", base)
+    a.li("r2", 0)
+    a.label("loop")
+    a.loadx("r3", "r1", "r3")       # pointer chase
+    a.andi("r3", "r3", (1 << 16) - 1)
+    a.addi("r2", "r2", 1)
+    a.cmplti("r4", "r2", n)
+    a.bnz("r4", "loop")
+    a.halt()
+    return BuiltWorkload("chase", a.build(), mem)
+
+
+class TestQueueLimits:
+    def test_small_issue_queue_hurts(self):
+        built_small = build_chain_workload(n=65536)
+        built_big = build_chain_workload(n=65536)
+        config = SimConfig(max_instructions=5_000)
+        small_iq = replace(config, core=replace(config.core,
+                                                issue_queue_size=16))
+        small = run_built(built_small, small_iq)
+        big = run_built(built_big, config)
+        assert small.ipc < big.ipc
+
+    def test_small_store_queue_hurts_store_heavy_code(self):
+        def store_program():
+            mem = GuestMemory(16 * 1024 * 1024)
+            out = mem.alloc(1 << 14, "out")
+            a = Assembler()
+            a.li("r1", out)
+            a.li("r2", 0)
+            a.label("loop")
+            a.storex("r2", "r1", "r2")
+            a.addi("r2", "r2", 1)
+            a.cmplti("r3", "r2", 1500)
+            a.bnz("r3", "loop")
+            a.halt()
+            return BuiltWorkload("stores", a.build(), mem)
+
+        config = SimConfig(max_instructions=5_000)
+        tiny_sq = replace(config, core=replace(config.core,
+                                               store_queue_size=2))
+        slow = run_built(store_program(), tiny_sq)
+        fast = run_built(store_program(), config)
+        assert slow.cycles >= fast.cycles
+
+    def test_pointer_chase_ignores_rob_size(self):
+        """A serial chain gains nothing from a bigger window."""
+        config = SimConfig(max_instructions=4_000)
+        small = run_built(dependent_miss_program(),
+                          config.with_rob(64))
+        big = run_built(dependent_miss_program(),
+                        config.with_rob(512))
+        assert big.ipc < small.ipc * 1.2
+
+
+class TestPollutionAccounting:
+    def test_unused_prefetch_eviction_counted(self):
+        config = SimConfig()
+        mem = GuestMemory(64 * 1024 * 1024)
+        hierarchy = MemoryHierarchy(config.memsys, config.stride_pf,
+                                    config.imp, mem)
+        # Prefetch a set's worth of lines into one L3 set, never touch
+        # them, then force evictions with demand traffic to the same set.
+        l3_sets = hierarchy.l3.num_sets
+        for way in range(20):
+            hierarchy.prefetch(64 * l3_sets * way, 0, "dvr")
+            hierarchy.tick(1000 * (way + 1))
+        for way in range(20, 60):
+            hierarchy.demand_load(64 * l3_sets * way, 1, 0,
+                                  100_000 + way * 1000)
+            hierarchy.tick(100_000 + way * 1000 + 500)
+        assert hierarchy.stats.prefetch_evicted_unused.get("dvr", 0) > 0
+
+
+class TestVrGrace:
+    def test_zero_grace_terminates_immediately(self):
+        config = SimConfig(max_instructions=6_000)
+        config = replace(config, runahead=replace(config.runahead,
+                                                  vr_termination_grace=0))
+        zero = run_built(build_chain_workload(n=65536),
+                         config.with_technique("vr"))
+        config_long = replace(config, runahead=replace(
+            config.runahead, vr_termination_grace=2_000))
+        long_grace = run_built(build_chain_workload(n=65536),
+                               config_long.with_technique("vr"))
+        assert (zero.engine_stats["vr_delayed_termination_cycles"] <=
+                long_grace.engine_stats["vr_delayed_termination_cycles"])

@@ -1,0 +1,117 @@
+"""Tests for the pipeline trace facility and the CPI-stack accounting."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness.runner import run_built
+from repro.isa import Assembler, GuestMemory
+from repro.memsys import MemoryHierarchy
+from repro.uarch import OoOCore, PipelineTrace
+from tests.conftest import build_chain_workload
+
+
+def run_traced(built, trace, config=None, technique="ooo"):
+    config = (config or SimConfig(max_instructions=2_000)
+              ).with_technique(technique)
+    hierarchy = MemoryHierarchy(config.memsys, config.stride_pf, config.imp,
+                                built.memory)
+    core = OoOCore(built.program, built.memory, config, hierarchy,
+                   trace=trace)
+    stats = core.run()
+    return core, stats
+
+
+class TestPipelineTrace:
+    def test_records_limited_entries(self):
+        trace = PipelineTrace(limit=50)
+        run_traced(build_chain_workload(n=2048), trace)
+        assert len(trace.entries) == 50
+
+    def test_event_ordering(self):
+        trace = PipelineTrace(limit=100)
+        run_traced(build_chain_workload(n=2048), trace)
+        for entry in trace.entries:
+            if entry.issue >= 0:
+                assert entry.dispatch <= entry.issue <= entry.complete
+
+    def test_load_latencies_reflect_hierarchy(self):
+        trace = PipelineTrace(limit=200)
+        run_traced(build_chain_workload(n=2048), trace)
+        latencies = trace.load_latencies()
+        assert latencies
+        offchip = [lat for _, level, lat in latencies
+                   if level == "Off-chip"]
+        assert offchip and min(offchip) >= 200  # DRAM trips traced
+
+    def test_skip_window(self):
+        trace = PipelineTrace(limit=10, skip=100)
+        run_traced(build_chain_workload(n=2048), trace)
+        assert trace.entries[0].seq == 100
+
+    def test_render(self):
+        trace = PipelineTrace(limit=20)
+        run_traced(build_chain_workload(n=2048), trace)
+        text = trace.render(max_rows=5)
+        assert "disp" in text
+        assert len(text.splitlines()) == 6
+
+
+class TestCpiStack:
+    def test_components_sum_to_cycles(self):
+        config = SimConfig(max_instructions=3_000)
+        metrics = run_built(build_chain_workload(n=8192), config)
+        total = sum(metrics.cpi_stack.values()) * metrics.committed
+        assert total == pytest.approx(metrics.cycles, rel=0.01)
+
+    def test_memory_dominates_indirect_chain(self):
+        config = SimConfig(max_instructions=3_000)
+        metrics = run_built(build_chain_workload(n=65536), config)
+        stack = metrics.cpi_stack
+        assert stack["memory"] > stack["base"]
+        assert stack["memory"] > stack["frontend"]
+
+    def test_compute_loop_is_base_dominated(self):
+        a = Assembler()
+        a.li("r1", 0)
+        a.label("loop")
+        a.addi("r2", "r2", 1)
+        a.addi("r3", "r3", 1)
+        a.addi("r1", "r1", 1)
+        a.cmplti("r4", "r1", 5000)
+        a.bnz("r4", "loop")
+        a.halt()
+        mem = GuestMemory(1 << 20)
+        from repro.workloads.base import BuiltWorkload
+        metrics = run_built(BuiltWorkload("alu", a.build(), mem),
+                            SimConfig(max_instructions=10_000))
+        stack = metrics.cpi_stack
+        assert stack["base"] > stack["memory"]
+
+    def test_dvr_shrinks_memory_component(self):
+        config = SimConfig(max_instructions=3_000)
+        base = run_built(build_chain_workload(n=65536), config)
+        dvr = run_built(build_chain_workload(n=65536),
+                        config.with_technique("dvr"))
+        assert dvr.cpi_stack["memory"] < base.cpi_stack["memory"]
+
+    def test_mispredict_heavy_loop_shows_frontend(self):
+        import random
+        rnd = random.Random(3)
+        a = Assembler()
+        mem = GuestMemory(1 << 22)
+        bits = mem.alloc_array([rnd.randrange(2) for _ in range(4096)], "b")
+        a.li("r1", bits)
+        a.li("r2", 0)
+        a.label("loop")
+        a.loadx("r3", "r1", "r2")
+        a.bez("r3", "skip")
+        a.addi("r4", "r4", 1)
+        a.label("skip")
+        a.addi("r2", "r2", 1)
+        a.cmplti("r5", "r2", 4000)
+        a.bnz("r5", "loop")
+        a.halt()
+        from repro.workloads.base import BuiltWorkload
+        metrics = run_built(BuiltWorkload("branchy", a.build(), mem),
+                            SimConfig(max_instructions=20_000))
+        assert metrics.cpi_stack["frontend"] > 0.1

@@ -1,0 +1,105 @@
+"""Tests for graph generation and CSR construction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (GRAPH_INPUTS, GraphSpec, bfs_frontier,
+                                    build_csr, degree_stats, pick_source,
+                                    rmat_edges, uniform_edges)
+
+
+class TestSpecs:
+    def test_paper_inputs_present(self):
+        for name in ("KR", "LJN", "ORK", "TW", "UR"):
+            assert name in GRAPH_INPUTS
+
+    def test_edge_counts(self):
+        spec = GRAPH_INPUTS["KR"]
+        assert spec.num_edges == spec.num_nodes * spec.avg_degree
+
+    def test_ur_is_uniform_kr_is_rmat(self):
+        assert GRAPH_INPUTS["UR"].kind == "uniform"
+        assert GRAPH_INPUTS["KR"].kind == "rmat"
+
+
+class TestCsr:
+    def _csr(self, kind="rmat"):
+        spec = GraphSpec("t", kind, 9, 8)
+        return build_csr(spec, seed=99), spec
+
+    @pytest.mark.parametrize("kind", ["rmat", "uniform"])
+    def test_csr_well_formed(self, kind):
+        (offsets, neighbors), spec = self._csr(kind)
+        assert len(offsets) == spec.num_nodes + 1
+        assert offsets[0] == 0
+        assert offsets[-1] == len(neighbors) == spec.num_edges
+        assert np.all(np.diff(offsets) >= 0)
+        assert neighbors.min() >= 0
+        assert neighbors.max() < spec.num_nodes
+
+    def test_deterministic_per_seed(self):
+        spec = GraphSpec("t2", "rmat", 9, 8)
+        import repro.workloads.graphs as G
+        G._csr_cache.clear()
+        off1, ngh1 = build_csr(spec, seed=5)
+        G._csr_cache.clear()
+        off2, ngh2 = build_csr(spec, seed=5)
+        assert np.array_equal(off1, off2)
+        assert np.array_equal(ngh1, ngh2)
+
+    def test_memoized(self):
+        spec = GraphSpec("t3", "rmat", 9, 8)
+        first = build_csr(spec, seed=6)
+        second = build_csr(spec, seed=6)
+        assert first[0] is second[0]
+
+    def test_rmat_skewed_vs_uniform(self):
+        """Power-law (RMAT) graphs have much larger max degree than
+        uniform ones -- the property DVR's evaluation leans on."""
+        rmat = degree_stats(build_csr(GraphSpec("s1", "rmat", 11, 16,
+                                                a=0.6, b=0.17, c=0.17),
+                                      seed=3)[0])
+        uniform = degree_stats(build_csr(GraphSpec("s2", "uniform", 11, 16),
+                                         seed=3)[0])
+        assert rmat["max_degree"] > 4 * uniform["max_degree"]
+        assert rmat["frac_small"] > uniform["frac_small"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_csr(GraphSpec("bad", "mystery", 9, 8))
+
+
+class TestGenerators:
+    def test_uniform_edges_in_range(self):
+        rng = np.random.default_rng(0)
+        src, dst = uniform_edges(100, 1000, rng)
+        assert src.max() < 100 and dst.max() < 100
+        assert len(src) == len(dst) == 1000
+
+    def test_rmat_edges_in_range(self):
+        rng = np.random.default_rng(0)
+        src, dst = rmat_edges(8, 1000, rng, 0.57, 0.19, 0.19)
+        assert src.max() < 256 and dst.max() < 256
+
+
+class TestRoiHelpers:
+    def test_pick_source_has_degree(self):
+        offsets, neighbors = build_csr(GraphSpec("t4", "rmat", 9, 8), seed=4)
+        source = pick_source(offsets)
+        assert offsets[source + 1] - offsets[source] >= 2
+
+    def test_bfs_frontier_returns_unvisited_level(self):
+        offsets, neighbors = build_csr(GraphSpec("t5", "rmat", 10, 8),
+                                       seed=4)
+        source = pick_source(offsets)
+        visited, frontier = bfs_frontier(offsets, neighbors, source,
+                                         min_frontier=32)
+        visited_set = set(visited.tolist())
+        # Frontier vertices are visited (discovered) and distinct.
+        assert set(frontier.tolist()) <= visited_set
+        assert len(set(frontier.tolist())) == len(frontier)
+
+    def test_bfs_frontier_source_visited(self):
+        offsets, neighbors = build_csr(GraphSpec("t6", "rmat", 9, 8), seed=4)
+        visited, _ = bfs_frontier(offsets, neighbors, 0)
+        assert 0 in set(visited.tolist())

@@ -1,0 +1,66 @@
+"""Sanity checks over every workload's generated program text and the
+timing behavior the paper's narrative assigns to each kernel family."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.harness.runner import run_built
+from repro.workloads import GAP_WORKLOADS, make_workload
+from tests.test_workloads_kernels import SMALL_PARAMS, build_small
+
+
+class TestProgramText:
+    def test_every_program_disassembles(self, tiny_graph):
+        names = sorted(set(GAP_WORKLOADS) | set(SMALL_PARAMS) | {"graph500"})
+        for name in names:
+            built = build_small(name, tiny_graph)
+            text = built.program.disassemble()
+            assert "halt" in text
+            assert len(text.splitlines()) >= len(built.program)
+
+    def test_gap_inner_loops_bottom_tested(self, tiny_graph):
+        """Every GAP kernel's inner loop ends in a backward conditional
+        branch (the shape Discovery Mode's SBB logic expects)."""
+        for name in GAP_WORKLOADS:
+            built = build_small(name, tiny_graph)
+            backward = [ins for ins in built.program
+                        if ins.is_cond_branch and 0 <= ins.target < ins.pc]
+            assert backward, f"{name} has no backward conditional branch"
+
+    def test_programs_fit_register_file(self, tiny_graph):
+        names = sorted(set(GAP_WORKLOADS) | set(SMALL_PARAMS))
+        for name in names:
+            built = build_small(name, tiny_graph)
+            for ins in built.program:
+                for reg in (ins.rd, *ins.srcs):
+                    assert -1 <= reg < 32
+
+
+class TestKernelTimingCharacter:
+    """The families behave the way the paper's narrative needs."""
+
+    def test_gap_kernels_mispredict_heavily(self, tiny_graph):
+        config = SimConfig(max_instructions=5_000)
+        built = build_small("bfs", tiny_graph)
+        metrics = run_built(built, config)
+        assert metrics.branch_mpki > 5
+
+    def test_streaming_kernels_predict_well(self):
+        config = SimConfig(max_instructions=5_000)
+        built = build_small("randomaccess", None)
+        metrics = run_built(built, config)
+        assert metrics.branch_mpki < 5
+
+    def test_hpcdb_fills_rob_gap_does_not(self, tiny_graph):
+        config = SimConfig(max_instructions=5_000)
+        hpcdb = run_built(build_small("camel", None), config)
+        gap = run_built(build_small("bfs", tiny_graph), config)
+        assert hpcdb.rob_full_fraction > gap.rob_full_fraction
+
+    def test_all_kernels_are_memory_bound(self, tiny_graph):
+        """Every benchmark misses the LLC (that's the point of the suite)."""
+        config = SimConfig(max_instructions=5_000)
+        for name in ("bfs", "camel", "nas-cg", "randomaccess"):
+            built = build_small(name, tiny_graph)
+            metrics = run_built(built, config)
+            assert metrics.mpki > 1, f"{name} never reaches DRAM"
