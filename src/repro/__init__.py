@@ -21,8 +21,9 @@ from .config import (ALL_TECHNIQUES, DVR_BREAKDOWN, BranchConfig, CacheConfig,
                      TECH_DVR, TECH_DVR_DISCOVERY, TECH_DVR_OFFLOAD, TECH_IMP,
                      TECH_OOO, TECH_ORACLE, TECH_PRE, TECH_VR, paper_config,
                      table1_rows)
-from .harness import (ExperimentScale, Metrics, hmean, run_built,
+from .harness import (ExperimentScale, Metrics, hmean, run_built, run_spec,
                       run_techniques, run_workload)
+from .jobs import JobSpec, run_specs
 from .workloads import (ALL_WORKLOADS, GAP_WORKLOADS, GRAPH_INPUTS,
                         HPCDB_WORKLOADS, benchmark_matrix, make_workload)
 
@@ -41,6 +42,7 @@ __all__ = [
     "GRAPH_INPUTS",
     "HPCDB_WORKLOADS",
     "ImpConfig",
+    "JobSpec",
     "MemSysConfig",
     "Metrics",
     "RunaheadConfig",
@@ -60,6 +62,8 @@ __all__ = [
     "make_workload",
     "paper_config",
     "run_built",
+    "run_spec",
+    "run_specs",
     "run_techniques",
     "run_workload",
     "table1_rows",

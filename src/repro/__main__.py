@@ -5,16 +5,27 @@ Usage::
     python -m repro list
     python -m repro table1
     python -m repro fig7 --instructions 20000 --graphs KR UR
-    python -m repro all --scale full
+    python -m repro fig7 --jobs 8          # process-pool parallel sweep
+    python -m repro all --scale full --jobs 8
     python -m repro run bfs --graph KR --technique dvr
+    python -m repro cache stats
+    python -m repro cache clear
+
+Experiment commands execute through the ``repro.jobs`` engine: results
+are cached on disk (``--cache-dir``, default ``~/.cache/repro``) keyed by
+simulation content + code version, every job is appended to the
+``runs.jsonl`` ledger there, and ``--jobs N`` fans simulations out over N
+worker processes.  ``--no-cache`` forces fresh simulation.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
+from . import jobs
 from .config import ALL_TECHNIQUES, DVR_BREAKDOWN, SimConfig
 from .harness.experiments import ALL_EXPERIMENTS, ExperimentScale
 from .harness.runner import run_workload
@@ -73,6 +84,33 @@ def cmd_all(args):
     return 0
 
 
+def cmd_cache(args):
+    action = args.workload or "stats"
+    cache = jobs.get_context().cache
+    if isinstance(cache, jobs.NullCache):
+        cache = jobs.ResultCache(jobs.get_context().cache_dir)
+    if action == "stats":
+        stats = cache.stats()
+        print(f"cache dir     {stats['cache_dir']}")
+        print(f"current salt  {stats['current_salt']}")
+        if not stats["generations"]:
+            print("entries       0")
+        for salt, info in stats["generations"].items():
+            marker = " (current)" if salt == stats["current_salt"] else ""
+            print(f"  {salt}{marker}: {info['entries']} entries, "
+                  f"{info['bytes']:,} bytes")
+        ledger = jobs.RunLedger.read(jobs.get_context().ledger_path)
+        print(f"ledger        {len(ledger)} run(s) recorded")
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s)")
+        return 0
+    print(f"unknown cache action {action!r} (expected: stats, clear)",
+          file=sys.stderr)
+    return 2
+
+
 def cmd_run(args):
     config = SimConfig(max_instructions=args.instructions or 20_000)
     if args.workload in GAP_WORKLOADS:
@@ -103,10 +141,11 @@ def main(argv=None):
         prog="python -m repro",
         description="Decoupled Vector Runahead reproduction harness")
     parser.add_argument("command",
-                        choices=sorted(ALL_EXPERIMENTS) + ["all", "list",
-                                                           "run"])
+                        choices=sorted(ALL_EXPERIMENTS) + ["all", "cache",
+                                                           "list", "run"])
     parser.add_argument("workload", nargs="?",
-                        help="workload name (for `run`)")
+                        help="workload name (for `run`) or cache action "
+                             "(for `cache`: stats, clear)")
     parser.add_argument("--technique", default="dvr",
                         choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
     parser.add_argument("--graph", default=None)
@@ -117,12 +156,31 @@ def main(argv=None):
                         default="small")
     parser.add_argument("--out", default=None,
                         help="append experiment results as JSON lines")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for experiment sweeps "
+                             "(default: $REPRO_JOBS or 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; don't reuse cached results")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-job timeout")
     args = parser.parse_args(argv)
+
+    env = jobs.ExecutionContext.from_env()
+    jobs.configure(
+        jobs=args.jobs if args.jobs is not None else env.jobs,
+        cache_dir=args.cache_dir or env.cache_dir,
+        no_cache=args.no_cache or env.no_cache,
+        timeout=args.job_timeout)
 
     if args.command == "list":
         return cmd_list(args)
     if args.command == "all":
         return cmd_all(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     if args.command == "run":
         if not args.workload:
             parser.error("`run` needs a workload name")
@@ -131,4 +189,10 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        status = main()
+    except BrokenPipeError:          # e.g. `python -m repro ... | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        status = 141                 # 128 + SIGPIPE, shell convention
+    sys.exit(status)

@@ -6,7 +6,10 @@ core inspired by Intel Ice Lake, simulated at 4 GHz).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+import typing
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 
 
 # Technique identifiers (see repro.harness.runner for dispatch)
@@ -202,6 +205,43 @@ class SimConfig:
                 store_queue_size=max(8, round(self.core.store_queue_size * ratio)),
             )
         return replace(self, core=core)
+
+
+def config_to_dict(config):
+    """``SimConfig`` (or any nested config dataclass) as plain dicts."""
+    return asdict(config)
+
+
+def config_from_dict(cls, data):
+    """Rebuild a config dataclass from :func:`config_to_dict` output.
+
+    Works for any of the config dataclasses here: nested dataclass fields
+    recurse, tuple-annotated fields are restored from JSON lists.
+    """
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for f in fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        hint = hints.get(f.name)
+        if is_dataclass(hint) and isinstance(value, dict):
+            value = config_from_dict(hint, value)
+        elif hint is tuple and isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def config_digest(config):
+    """Stable content hash of a config (hex string).
+
+    Two structurally-equal configs always hash alike, across processes
+    and interpreter runs -- the basis of the ``repro.jobs`` cache key.
+    """
+    canonical = json.dumps(config_to_dict(config), sort_keys=True,
+                           default=list)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 def paper_config(technique=TECH_OOO, max_instructions=50_000):

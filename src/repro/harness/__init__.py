@@ -6,7 +6,8 @@ from .experiments import (ALL_EXPERIMENTS, ExperimentResult, ExperimentScale,
                           fig12_dvr_rob, table1_config, table2_graphs)
 from .metrics import Metrics
 from .report import format_kv, format_table, gmean, hmean
-from .runner import build_engine, run_built, run_techniques, run_workload
+from .runner import (build_engine, run_built, run_spec, run_techniques,
+                     run_workload)
 
 __all__ = [
     "ALL_EXPERIMENTS",
@@ -26,6 +27,7 @@ __all__ = [
     "gmean",
     "hmean",
     "run_built",
+    "run_spec",
     "run_techniques",
     "run_workload",
     "table1_config",

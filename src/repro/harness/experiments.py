@@ -1,9 +1,15 @@
 """Experiment definitions: one function per paper table/figure.
 
-Each ``fig*``/``table*`` function runs the simulations it needs and
-returns a result object with the raw numbers plus a ``render()`` giving
-the same rows/series the paper reports.  The benchmark harness
-(``benchmarks/``) calls these; so can users.
+Each ``fig*``/``table*`` function *enumerates* the simulations it needs as
+:class:`~repro.jobs.spec.JobSpec`s, hands the batch to the ``repro.jobs``
+execution engine (process-pool parallelism, disk result cache, JSONL run
+ledger), then joins the returned metrics into a result object whose
+``render()`` gives the same rows/series the paper reports.  The benchmark
+harness (``benchmarks/``) calls these; so can users.
+
+Because specs are content-hashed, points shared between figures (every
+figure re-uses the OoO baseline, fig2/fig12 share ROB sweeps) are
+simulated once and served from cache afterwards.
 
 Workload scale is controlled by ``ExperimentScale``: the default "small"
 scale runs the GAP kernels on two inputs and trims the instruction budget
@@ -18,12 +24,12 @@ from dataclasses import dataclass
 
 from ..config import (DVR_BREAKDOWN, SimConfig, TECH_DVR, TECH_IMP, TECH_OOO,
                       TECH_ORACLE, TECH_PRE, TECH_VR)
+from ..jobs import JobSpec, run_specs
 from ..memsys.cache import SRC_DVR
 from ..memsys.hierarchy import LEVELS
 from ..workloads import GAP_WORKLOADS, GRAPH_INPUTS, HPCDB_WORKLOADS
 from ..workloads.graphs import build_csr
 from .report import format_table, hmean
-from .runner import run_workload
 
 ROB_SIZES = (128, 192, 224, 350, 512)
 
@@ -53,16 +59,42 @@ class ExperimentScale:
         return SimConfig(max_instructions=self.max_instructions
                          ).with_technique(technique)
 
-    def workloads(self, gap_only=False):
-        """(label, factory) pairs for this scale."""
-        pairs = []
-        for kernel, cls in GAP_WORKLOADS.items():
+    def entries(self, gap_only=False):
+        """(label, workload name, params) triples for this scale."""
+        triples = []
+        for kernel in GAP_WORKLOADS:
             for graph in self.gap_graphs:
-                pairs.append((f"{kernel}_{graph}", cls(graph=graph)))
+                triples.append((f"{kernel}_{graph}", kernel,
+                                {"graph": graph}))
         if not gap_only:
             for name in self.hpcdb:
-                pairs.append((name, HPCDB_WORKLOADS[name]()))
+                triples.append((name, name, {}))
+        return triples
+
+    def spec(self, label, workload, params, technique, rob=None,
+             scale_backend=False):
+        """One JobSpec at this scale's budget/seed."""
+        config = self.config(technique)
+        if rob is not None:
+            config = config.with_rob(rob, scale_backend)
+        return JobSpec(workload=workload, params=params, config=config,
+                       seed=self.seed, label=label)
+
+    def workloads(self, gap_only=False):
+        """(label, factory) pairs for this scale (direct-run API)."""
+        pairs = []
+        for label, name, params in self.entries(gap_only):
+            if name in GAP_WORKLOADS:
+                pairs.append((label, GAP_WORKLOADS[name](**params)))
+            else:
+                pairs.append((label, HPCDB_WORKLOADS[name]()))
         return pairs
+
+
+def _gather(items):
+    """Run ``[(join_key, JobSpec), ...]`` and map join_key -> Metrics."""
+    metrics = run_specs([spec for _key, spec in items])
+    return {key: m for (key, _spec), m in zip(items, metrics)}
 
 
 class ExperimentResult:
@@ -86,24 +118,27 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 def fig2_rob_sweep(scale=None, rob_sizes=ROB_SIZES):
     scale = scale or ExperimentScale.from_env()
-    workloads = scale.workloads()
-    base_cfg = scale.config(TECH_OOO)
+    entries = scale.entries()
 
-    baseline_ipc = {}
-    for label, factory in workloads:
-        metrics = run_workload(factory, base_cfg, seed=scale.seed)
-        baseline_ipc[label] = metrics.ipc
+    items = [(("base", label), scale.spec(label, name, params, TECH_OOO))
+             for label, name, params in entries]
+    for rob in rob_sizes:
+        for tech in (TECH_OOO, TECH_VR):
+            items.extend(
+                ((rob, tech, label),
+                 scale.spec(label, name, params, tech, rob=rob))
+                for label, name, params in entries)
+    metrics = _gather(items)
 
     rows = []
     for rob in rob_sizes:
         ooo_speedups, vr_speedups, stall = [], [], []
-        for label, factory in workloads:
-            cfg = scale.config(TECH_OOO).with_rob(rob)
-            ooo = run_workload(factory, cfg, seed=scale.seed)
-            cfg = scale.config(TECH_VR).with_rob(rob)
-            vr = run_workload(factory, cfg, seed=scale.seed)
-            ooo_speedups.append(ooo.ipc / baseline_ipc[label])
-            vr_speedups.append(vr.ipc / baseline_ipc[label])
+        for label, _name, _params in entries:
+            base_ipc = metrics[("base", label)].ipc
+            ooo = metrics[(rob, TECH_OOO, label)]
+            vr = metrics[(rob, TECH_VR, label)]
+            ooo_speedups.append(ooo.ipc / base_ipc)
+            vr_speedups.append(vr.ipc / base_ipc)
             stall.append(ooo.rob_full_fraction)
         rows.append([rob, hmean(ooo_speedups), hmean(vr_speedups),
                      100.0 * sum(stall) / len(stall)])
@@ -119,21 +154,36 @@ def fig2_rob_sweep(scale=None, rob_sizes=ROB_SIZES):
 FIG7_TECHNIQUES = (TECH_PRE, TECH_IMP, TECH_VR, TECH_DVR, TECH_ORACLE)
 
 
-def fig7_performance(scale=None, techniques=FIG7_TECHNIQUES):
-    scale = scale or ExperimentScale.from_env()
+def _technique_grid(scale, techniques):
+    """Metrics for every (workload, OoO-baseline + techniques) point."""
+    entries = scale.entries()
+    items = []
+    for label, name, params in entries:
+        for tech in (TECH_OOO,) + tuple(techniques):
+            items.append(((label, tech),
+                          scale.spec(label, name, params, tech)))
+    return entries, _gather(items)
+
+
+def _speedup_table(scale, techniques):
+    entries, metrics = _technique_grid(scale, techniques)
     rows = []
     per_tech = {tech: [] for tech in techniques}
-    for label, factory in scale.workloads():
-        base = run_workload(factory, scale.config(TECH_OOO), seed=scale.seed)
+    for label, _name, _params in entries:
+        base = metrics[(label, TECH_OOO)]
         row = [label]
         for tech in techniques:
-            metrics = run_workload(factory, scale.config(tech),
-                                   seed=scale.seed)
-            speedup = metrics.speedup_over(base)
+            speedup = metrics[(label, tech)].speedup_over(base)
             per_tech[tech].append(speedup)
             row.append(speedup)
         rows.append(row)
     rows.append(["H-mean"] + [hmean(per_tech[tech]) for tech in techniques])
+    return rows
+
+
+def fig7_performance(scale=None, techniques=FIG7_TECHNIQUES):
+    scale = scale or ExperimentScale.from_env()
+    rows = _speedup_table(scale, tuple(techniques))
     return ExperimentResult(
         "Figure 7: speedup over the baseline OoO core",
         ["benchmark"] + list(techniques), rows,
@@ -145,19 +195,7 @@ def fig7_performance(scale=None, techniques=FIG7_TECHNIQUES):
 # ---------------------------------------------------------------------------
 def fig8_breakdown(scale=None):
     scale = scale or ExperimentScale.from_env()
-    rows = []
-    per_tech = {tech: [] for tech in DVR_BREAKDOWN}
-    for label, factory in scale.workloads():
-        base = run_workload(factory, scale.config(TECH_OOO), seed=scale.seed)
-        row = [label]
-        for tech in DVR_BREAKDOWN:
-            metrics = run_workload(factory, scale.config(tech),
-                                   seed=scale.seed)
-            speedup = metrics.speedup_over(base)
-            per_tech[tech].append(speedup)
-            row.append(speedup)
-        rows.append(row)
-    rows.append(["H-mean"] + [hmean(per_tech[t]) for t in DVR_BREAKDOWN])
+    rows = _speedup_table(scale, DVR_BREAKDOWN)
     return ExperimentResult(
         "Figure 8: DVR breakdown (VR -> +Offload -> +Discovery -> +Nested)",
         ["benchmark"] + list(DVR_BREAKDOWN), rows,
@@ -171,15 +209,15 @@ def fig8_breakdown(scale=None):
 def fig9_mlp(scale=None):
     scale = scale or ExperimentScale.from_env()
     techniques = (TECH_OOO, TECH_VR, TECH_DVR)
+    entries, metrics = _technique_grid(scale, techniques[1:])
     rows = []
     sums = {tech: [] for tech in techniques}
-    for label, factory in scale.workloads():
+    for label, _name, _params in entries:
         row = [label]
         for tech in techniques:
-            metrics = run_workload(factory, scale.config(tech),
-                                   seed=scale.seed)
-            row.append(metrics.mlp)
-            sums[tech].append(metrics.mlp)
+            mlp = metrics[(label, tech)].mlp
+            row.append(mlp)
+            sums[tech].append(mlp)
         rows.append(row)
     rows.append(["Mean"] + [sum(sums[t]) / len(sums[t]) for t in techniques])
     return ExperimentResult(
@@ -193,15 +231,14 @@ def fig9_mlp(scale=None):
 # ---------------------------------------------------------------------------
 def fig10_accuracy(scale=None):
     scale = scale or ExperimentScale.from_env()
+    entries, metrics = _technique_grid(scale, (TECH_VR, TECH_DVR))
     rows = []
-    for label, factory in scale.workloads():
-        base = run_workload(factory, scale.config(TECH_OOO), seed=scale.seed)
+    for label, _name, _params in entries:
+        base = metrics[(label, TECH_OOO)]
         base_total = max(1, sum(base.dram_accesses.values()))
         row = [label]
         for tech in (TECH_VR, TECH_DVR):
-            metrics = run_workload(factory, scale.config(tech),
-                                   seed=scale.seed)
-            main, runahead = metrics.dram_split()
+            main, runahead = metrics[(label, tech)].dram_split()
             row.extend([main / base_total, runahead / base_total])
         rows.append(row)
     return ExperimentResult(
@@ -217,11 +254,12 @@ def fig10_accuracy(scale=None):
 # ---------------------------------------------------------------------------
 def fig11_timeliness(scale=None):
     scale = scale or ExperimentScale.from_env()
+    entries = scale.entries()
+    metrics = _gather([(label, scale.spec(label, name, params, TECH_DVR))
+                       for label, name, params in entries])
     rows = []
-    for label, factory in scale.workloads():
-        metrics = run_workload(factory, scale.config(TECH_DVR),
-                               seed=scale.seed)
-        fractions = metrics.timeliness_fractions(SRC_DVR)
+    for label, _name, _params in entries:
+        fractions = metrics[label].timeliness_fractions(SRC_DVR)
         rows.append([label] + [100.0 * fractions[level] for level in LEVELS])
     return ExperimentResult(
         "Figure 11: where the main thread finds DVR-prefetched lines (%)",
@@ -235,26 +273,26 @@ def fig11_timeliness(scale=None):
 # ---------------------------------------------------------------------------
 def fig12_dvr_rob(scale=None, rob_sizes=ROB_SIZES, scale_backend=False):
     scale = scale or ExperimentScale.from_env()
-    workloads = scale.workloads()
-    baseline_ipc = {}
-    for label, factory in workloads:
-        metrics = run_workload(factory, scale.config(TECH_OOO),
-                               seed=scale.seed)
-        baseline_ipc[label] = metrics.ipc
+    entries = scale.entries()
+
+    items = [(("base", label), scale.spec(label, name, params, TECH_OOO))
+             for label, name, params in entries]
+    for rob in rob_sizes:
+        for tech in (TECH_OOO, TECH_DVR):
+            items.extend(
+                ((rob, tech, label),
+                 scale.spec(label, name, params, tech, rob=rob,
+                            scale_backend=scale_backend))
+                for label, name, params in entries)
+    metrics = _gather(items)
+
     rows = []
     for rob in rob_sizes:
         ooo_speedups, dvr_speedups = [], []
-        for label, factory in workloads:
-            ooo = run_workload(
-                factory,
-                scale.config(TECH_OOO).with_rob(rob, scale_backend),
-                seed=scale.seed)
-            dvr = run_workload(
-                factory,
-                scale.config(TECH_DVR).with_rob(rob, scale_backend),
-                seed=scale.seed)
-            ooo_speedups.append(ooo.ipc / baseline_ipc[label])
-            dvr_speedups.append(dvr.ipc / baseline_ipc[label])
+        for label, _name, _params in entries:
+            base_ipc = metrics[("base", label)].ipc
+            ooo_speedups.append(metrics[(rob, TECH_OOO, label)].ipc / base_ipc)
+            dvr_speedups.append(metrics[(rob, TECH_DVR, label)].ipc / base_ipc)
         rows.append([rob, hmean(ooo_speedups), hmean(dvr_speedups),
                      hmean(dvr_speedups) / max(1e-9, hmean(ooo_speedups))])
     return ExperimentResult(
@@ -277,16 +315,22 @@ def table1_config():
 def table2_graphs(scale=None):
     """Graph inputs + measured LLC MPKI aggregated over the GAP kernels."""
     scale = scale or ExperimentScale.from_env()
+    items = [((graph, kernel),
+              scale.spec(f"{kernel}_{graph}", kernel, {"graph": graph},
+                         TECH_OOO))
+             for graph in GRAPH_INPUTS
+             for kernel in GAP_WORKLOADS]
+    metrics = _gather(items)
+
     rows = []
     for name, spec in GRAPH_INPUTS.items():
         offsets, neighbors = build_csr(spec, seed=scale.seed)
         total_dram = 0
         total_instr = 0
-        for kernel, cls in GAP_WORKLOADS.items():
-            metrics = run_workload(cls(graph=name), scale.config(TECH_OOO),
-                                   seed=scale.seed)
-            total_dram += sum(metrics.dram_accesses.values())
-            total_instr += metrics.committed
+        for kernel in GAP_WORKLOADS:
+            point = metrics[(name, kernel)]
+            total_dram += sum(point.dram_accesses.values())
+            total_instr += point.committed
         mpki = 1000.0 * total_dram / max(1, total_instr)
         rows.append([name, (len(offsets) - 1) / 1e6, len(neighbors) / 1e6,
                      mpki])

@@ -2,7 +2,18 @@
 
 from __future__ import annotations
 
+from ..config import SimConfig, config_from_dict, config_to_dict
 from ..memsys.hierarchy import LEVELS
+
+#: Every attribute one simulation run produces, in serialization order.
+#: ``config`` is handled separately (nested dataclasses).
+_FIELDS = (
+    "workload", "technique", "cycles", "committed", "ipc",
+    "rob_full_fraction", "rob_full_cycles", "commit_blocked_runahead",
+    "branch_mispredicts", "branch_lookups", "cpi_stack", "mlp",
+    "dram_accesses", "demand_hits", "prefetch_issued", "prefetch_used",
+    "timeliness", "mshr_blocked", "engine_stats",
+)
 
 
 class Metrics:
@@ -75,6 +86,25 @@ class Metrics:
         if total == 0:
             return {level: 0.0 for level in LEVELS}
         return {level: hist.get(level, 0) / total for level in LEVELS}
+
+    # ------------------------------------------------------------------
+    # Serialization: a lossless round-trip used by the result cache, the
+    # process-pool executor, and ``--out`` persistence (repro.jobs).
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """Full, JSON-serializable state; inverse of :meth:`from_dict`."""
+        data = {name: getattr(self, name) for name in _FIELDS}
+        data["config"] = config_to_dict(self.config)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a :class:`Metrics` from :meth:`to_dict` output."""
+        metrics = cls.__new__(cls)
+        for name in _FIELDS:
+            setattr(metrics, name, data[name])
+        metrics.config = config_from_dict(SimConfig, data["config"])
+        return metrics
 
     def as_dict(self):
         return {

@@ -66,6 +66,24 @@ def run_workload(workload, config=None, technique=None, seed=12345):
     return run_built(built, config)
 
 
+def run_spec(spec):
+    """Run one :class:`~repro.jobs.spec.JobSpec`; works in any process.
+
+    This is the executor's (and worker processes') entry point: it
+    re-registers named graph inputs from the spec's fingerprint when the
+    worker's registry doesn't have them (e.g. inputs registered at runtime
+    by tests or notebooks), rebuilds the workload by name, and simulates.
+    """
+    from ..workloads import make_workload
+    graph_data = spec.inputs.get("graph")
+    if graph_data is not None:
+        from ..workloads.graphs import GRAPH_INPUTS, GraphSpec
+        if spec.params.get("graph") not in GRAPH_INPUTS:
+            GRAPH_INPUTS[graph_data["name"]] = GraphSpec(**graph_data)
+    workload = make_workload(spec.workload, **spec.params)
+    return run_workload(workload, spec.config, seed=spec.seed)
+
+
 def run_techniques(workload, techniques, config=None, seed=12345):
     """Run the same workload under several techniques.
 

@@ -1,0 +1,35 @@
+"""Experiment-execution engine: parallel runs, result cache, run ledger.
+
+The paper's figures are cross-product sweeps (workloads x inputs x
+techniques x ROB sizes); this package turns each point into a content-
+addressed :class:`JobSpec`, executes batches of them on a process pool,
+caches results on disk keyed by spec hash + code version, and logs every
+job to a JSONL run ledger.  The figure code in
+:mod:`repro.harness.experiments` only *enumerates* specs and joins the
+returned metrics.
+"""
+
+from .cache import NullCache, ResultCache, code_salt, default_cache_dir
+from .context import (ExecutionContext, configure, get_context, run_specs,
+                      set_context)
+from .executor import Executor, JobError, ProgressLine
+from .ledger import NullLedger, RunLedger
+from .spec import JobSpec
+
+__all__ = [
+    "ExecutionContext",
+    "Executor",
+    "JobError",
+    "JobSpec",
+    "NullCache",
+    "NullLedger",
+    "ProgressLine",
+    "ResultCache",
+    "RunLedger",
+    "code_salt",
+    "configure",
+    "default_cache_dir",
+    "get_context",
+    "run_specs",
+    "set_context",
+]

@@ -1,0 +1,145 @@
+"""Disk-backed result cache keyed by JobSpec content hash + code version.
+
+Layout::
+
+    <cache_dir>/results/<salt>/<spec-key>.json    # one Metrics per file
+    <cache_dir>/runs.jsonl                        # run ledger (see ledger.py)
+
+The *salt* is a hash over every ``repro`` source file, so any code change
+invalidates previous results wholesale -- stale entries from older builds
+can never satisfy a lookup.  Entries are written atomically (temp file +
+rename) so concurrent executors on the same cache directory are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_code_salt = None
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    explicit = os.environ.get(_ENV_DIR)
+    if explicit:
+        return explicit
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def code_salt():
+    """Hash of the whole ``repro`` package source (cached per process)."""
+    global _code_salt
+    if _code_salt is None:
+        package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(package_dir)):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, package_dir).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_salt = digest.hexdigest()[:12]
+    return _code_salt
+
+
+class ResultCache:
+    """Maps :class:`~repro.jobs.spec.JobSpec` -> cached ``Metrics``."""
+
+    def __init__(self, cache_dir=None, salt=None):
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.salt = salt or code_salt()
+        self.results_dir = os.path.join(self.cache_dir, "results", self.salt)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec):
+        return os.path.join(self.results_dir, f"{spec.key}.json")
+
+    def get(self, spec):
+        """Cached :class:`Metrics` for ``spec``, or ``None``."""
+        # Lazy import: repro.harness pulls in this package at import time.
+        from ..harness.metrics import Metrics
+        try:
+            with open(self._path(spec)) as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Metrics.from_dict(payload["metrics"])
+
+    def put(self, spec, metrics):
+        """Persist ``metrics`` atomically; concurrent writers are safe."""
+        os.makedirs(self.results_dir, exist_ok=True)
+        payload = {"spec": spec.to_dict(), "metrics": metrics.to_dict()}
+        fd, tmp_path = tempfile.mkstemp(dir=self.results_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._path(spec))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Whole-directory view: entries/bytes per salt generation."""
+        results_root = os.path.join(self.cache_dir, "results")
+        generations = {}
+        if os.path.isdir(results_root):
+            for salt in sorted(os.listdir(results_root)):
+                gen_dir = os.path.join(results_root, salt)
+                if not os.path.isdir(gen_dir):
+                    continue
+                entries = [name for name in os.listdir(gen_dir)
+                           if name.endswith(".json")]
+                total = sum(
+                    os.path.getsize(os.path.join(gen_dir, name))
+                    for name in entries)
+                generations[salt] = {"entries": len(entries), "bytes": total}
+        return {
+            "cache_dir": self.cache_dir,
+            "current_salt": self.salt,
+            "generations": generations,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self):
+        """Delete every cached result (all generations). Returns count."""
+        results_root = os.path.join(self.cache_dir, "results")
+        removed = 0
+        if os.path.isdir(results_root):
+            for dirpath, _dirnames, filenames in os.walk(results_root,
+                                                         topdown=False):
+                for filename in filenames:
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+                if dirpath != results_root:
+                    os.rmdir(dirpath)
+        return removed
+
+
+class NullCache:
+    """Cache stand-in when caching is disabled (``--no-cache``)."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec):
+        self.misses += 1
+        return None
+
+    def put(self, spec, metrics):
+        pass

@@ -1,0 +1,76 @@
+"""Process-wide execution defaults: worker count, cache, ledger.
+
+The CLI (``--jobs/--no-cache/--cache-dir``) and the environment
+(``REPRO_JOBS``, ``REPRO_NO_CACHE``, ``REPRO_CACHE_DIR``) configure one
+shared context; experiment code just calls :func:`run_specs` and inherits
+it.  Tests can install a scratch context with :func:`configure` /
+:func:`set_context`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .cache import NullCache, ResultCache, default_cache_dir
+from .executor import Executor
+from .ledger import NullLedger, RunLedger
+
+_context = None
+
+
+class ExecutionContext:
+    """Everything an :class:`Executor` needs, built once per process."""
+
+    def __init__(self, jobs=1, cache_dir=None, no_cache=False, timeout=None,
+                 ledger_path=None):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.no_cache = bool(no_cache)
+        self.timeout = timeout
+        self.cache = NullCache() if no_cache else ResultCache(self.cache_dir)
+        # The ledger records runs even when result reuse is off.
+        if ledger_path is None:
+            ledger_path = os.path.join(self.cache_dir, "runs.jsonl")
+        self.ledger_path = ledger_path
+        self.ledger = (RunLedger(ledger_path) if ledger_path
+                       else NullLedger())
+
+    def executor(self):
+        return Executor(jobs=self.jobs, cache=self.cache, ledger=self.ledger,
+                        timeout=self.timeout)
+
+    @classmethod
+    def from_env(cls):
+        return cls(jobs=int(os.environ.get("REPRO_JOBS", "1")),
+                   cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+                   no_cache=os.environ.get("REPRO_NO_CACHE", "") not in
+                   ("", "0"))
+
+
+def get_context():
+    """The current process-wide context (created from env on first use)."""
+    global _context
+    if _context is None:
+        _context = ExecutionContext.from_env()
+    return _context
+
+
+def set_context(context):
+    """Install ``context`` (or ``None`` to fall back to env defaults)."""
+    global _context
+    _context = context
+    return context
+
+
+def configure(**kwargs):
+    """Build + install a context from keyword overrides (CLI entry)."""
+    return set_context(ExecutionContext(**kwargs))
+
+
+def run_specs(specs, context=None):
+    """Run JobSpecs under ``context`` (default: the process-wide one).
+
+    Returns a list of Metrics aligned with ``specs``.
+    """
+    context = context or get_context()
+    return context.executor().run(specs)

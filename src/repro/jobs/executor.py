@@ -1,0 +1,193 @@
+"""Fan jobs out over worker processes, with caching and a run ledger.
+
+The :class:`Executor` is the one place simulations get launched from:
+it deduplicates specs by content key, serves repeats from the
+:class:`~repro.jobs.cache.ResultCache`, runs the misses either in-process
+(``jobs=1`` -- exercised by pytest/coverage and debugging) or on a
+``ProcessPoolExecutor``, retries once on a worker crash or timeout by
+re-running the job in the parent, and logs every job to the JSONL ledger.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from .cache import NullCache
+from .ledger import NullLedger
+from .spec import JobSpec
+
+
+def _execute_payload(payload):
+    """Worker entry point: run one serialized JobSpec, return plain dicts.
+
+    Module-level so it pickles; takes/returns dicts so workers never ship
+    live simulator objects across the process boundary.
+    """
+    from ..harness.runner import run_spec
+    spec = JobSpec.from_dict(payload)
+    start = time.perf_counter()
+    metrics = run_spec(spec)
+    return {"metrics": metrics.to_dict(),
+            "wall_s": time.perf_counter() - start,
+            "worker": os.getpid()}
+
+
+class ProgressLine:
+    """Live ``[12/60] bfs_KR dvr ... 3 cached`` line on stderr.
+
+    On a TTY the line redraws in place; otherwise (pipes, CI) it stays
+    silent per-job and prints one summary at the end.  ``REPRO_PROGRESS=0``
+    silences it entirely, ``=1`` forces per-job lines even when piped.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        mode = os.environ.get("REPRO_PROGRESS", "")
+        self.enabled = mode != "0"
+        self.per_job = self.enabled and (
+            mode == "1" or getattr(self.stream, "isatty", lambda: False)())
+        self.live = self.per_job and mode != "1"
+        self._dirty = False
+
+    def update(self, done, total, spec, cached):
+        if not self.per_job:
+            return
+        text = f"[{done}/{total}] {spec.label} {spec.technique} " \
+               f"... {cached} cached"
+        if self.live:
+            self.stream.write("\r" + text.ljust(60))
+            self._dirty = True
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def finish(self, total, cached, wall_s):
+        if not self.enabled:
+            return
+        if self._dirty:
+            self.stream.write("\n")
+        self.stream.write(f"[jobs] {total} job(s), {cached} cache hit(s), "
+                          f"{wall_s:.2f}s\n")
+        self.stream.flush()
+
+
+class JobError(RuntimeError):
+    """A job failed twice (initial attempt + one retry)."""
+
+
+class Executor:
+    """Run JobSpecs: dedup -> cache -> (pool | serial) -> ledger."""
+
+    def __init__(self, jobs=1, cache=None, ledger=None, timeout=None,
+                 progress=None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache if cache is not None else NullCache()
+        self.ledger = ledger if ledger is not None else NullLedger()
+        self.timeout = timeout        # per-job seconds, None = unlimited
+        self.progress = progress if progress is not None else ProgressLine()
+
+    # ------------------------------------------------------------------
+    def run(self, specs):
+        """Execute ``specs``; returns Metrics aligned with the input order.
+
+        Specs sharing a content key are simulated once.
+        """
+        start = time.perf_counter()
+        unique = {}
+        for spec in specs:
+            unique.setdefault(spec.key, spec)
+
+        results = {}                  # key -> Metrics
+        cached = 0
+        pending = []
+        for key, spec in unique.items():
+            lookup_start = time.perf_counter()
+            metrics = self.cache.get(spec)
+            if metrics is not None:
+                results[key] = metrics
+                cached += 1
+                self.ledger.record(
+                    spec, cache="hit", worker="parent",
+                    wall_s=time.perf_counter() - lookup_start,
+                    metrics=metrics)
+                self.progress.update(len(results), len(unique), spec, cached)
+            else:
+                pending.append(spec)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, unique, results, cached)
+            else:
+                self._run_pool(pending, unique, results, cached)
+
+        self.progress.finish(len(unique), cached,
+                             time.perf_counter() - start)
+        return [results[spec.key] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _finish_job(self, spec, metrics, unique, results, cached, *,
+                    wall_s, worker, status):
+        self.cache.put(spec, metrics)
+        results[spec.key] = metrics
+        miss = "off" if isinstance(self.cache, NullCache) else "miss"
+        self.ledger.record(spec, cache=miss, wall_s=wall_s, worker=worker,
+                           status=status, metrics=metrics)
+        self.progress.update(len(results), len(unique), spec, cached)
+
+    def _retry_in_parent(self, spec, error):
+        """One in-process retry after a worker crash/timeout."""
+        from ..harness.runner import run_spec
+        start = time.perf_counter()
+        try:
+            metrics = run_spec(spec)
+        except Exception as retry_error:
+            self.ledger.record(spec, cache="miss", worker="parent",
+                               wall_s=time.perf_counter() - start,
+                               status="failed", error=repr(retry_error))
+            raise JobError(
+                f"job {spec.label}/{spec.technique} failed twice: "
+                f"{error!r}, then {retry_error!r}") from retry_error
+        return metrics, time.perf_counter() - start
+
+    def _run_serial(self, pending, unique, results, cached):
+        from ..harness.runner import run_spec
+        for spec in pending:
+            start = time.perf_counter()
+            try:
+                metrics = run_spec(spec)
+                status = "ok"
+            except Exception as error:
+                metrics, _ = self._retry_in_parent(spec, error)
+                status = "retried"
+            self._finish_job(spec, metrics, unique, results, cached,
+                             wall_s=time.perf_counter() - start,
+                             worker="parent", status=status)
+
+    def _run_pool(self, pending, unique, results, cached):
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [(spec, pool.submit(_execute_payload, spec.to_dict()))
+                       for spec in pending]
+            # Collect in submission order: per-future result(timeout) keeps
+            # the per-job timeout simple while the pool runs everything
+            # concurrently behind it.
+            from ..harness.metrics import Metrics
+            for spec, future in futures:
+                try:
+                    payload = future.result(timeout=self.timeout)
+                    metrics = Metrics.from_dict(payload["metrics"])
+                    self._finish_job(spec, metrics, unique, results, cached,
+                                     wall_s=payload["wall_s"],
+                                     worker=payload["worker"], status="ok")
+                except Exception as error:
+                    # Worker crash (BrokenProcessPool), timeout, or an
+                    # exception raised inside the job: one retry, in the
+                    # parent so a poisoned pool can't eat it too.
+                    future.cancel()
+                    metrics, wall_s = self._retry_in_parent(spec, error)
+                    self._finish_job(spec, metrics, unique, results, cached,
+                                     wall_s=wall_s, worker="parent",
+                                     status="retried")

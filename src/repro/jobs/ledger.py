@@ -1,0 +1,69 @@
+"""JSONL run ledger: one line per executed (or cache-served) job.
+
+Every record carries the spec hash, timing, cache disposition, worker id
+and headline metrics, so a sweep's full history can be replayed or audited
+with nothing but ``jq``::
+
+    {"seq": 3, "key": "9f2c...", "workload": "bfs", "params": {"graph": "KR"},
+     "technique": "dvr", "cache": "hit", "wall_s": 0.002, "worker": 41782,
+     "status": "ok", "ipc": 1.91, "cycles": 10483, "mpki": 18.2}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+
+class RunLedger:
+    """Append-only JSONL log of every job an executor processed."""
+
+    def __init__(self, path):
+        self.path = path
+        self._seq = 0
+
+    def record(self, spec, *, cache, wall_s, worker, status="ok",
+               metrics=None, error=None):
+        entry = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "key": spec.key,
+            "workload": spec.workload,
+            "params": spec.params,
+            "technique": spec.technique,
+            "seed": spec.seed,
+            "label": spec.label,
+            "cache": cache,            # "hit" | "miss" | "off"
+            "wall_s": round(wall_s, 6),
+            "worker": worker,          # pid, or "parent" for in-process runs
+            "status": status,          # "ok" | "retried" | "failed"
+        }
+        if metrics is not None:
+            entry.update(ipc=round(metrics.ipc, 6),
+                         cycles=metrics.cycles,
+                         committed=metrics.committed,
+                         mpki=round(metrics.mpki, 6),
+                         mlp=round(metrics.mlp, 6))
+        if error is not None:
+            entry["error"] = error
+        self._seq += 1
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        return entry
+
+    @staticmethod
+    def read(path):
+        """All records of a ledger file (missing file -> empty list)."""
+        if not os.path.exists(path):
+            return []
+        with open(path) as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+
+class NullLedger:
+    """Ledger stand-in when no ledger path is configured."""
+
+    def record(self, spec, **kwargs):
+        return None

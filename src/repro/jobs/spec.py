@@ -1,0 +1,98 @@
+"""Canonical description of one simulation: the unit of work.
+
+A :class:`JobSpec` pins down everything that determines a simulation's
+result -- workload name and parameters, the full :class:`SimConfig`, the
+build seed, and a fingerprint of any named input (graph specs) -- and
+hashes all of it into a stable content key.  Two specs with the same key
+are guaranteed to produce the same :class:`~repro.harness.metrics.Metrics`
+(the simulator is deterministic), which is what makes the result cache
+and cross-figure deduplication sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..config import SimConfig, config_from_dict, config_to_dict
+
+
+def _input_fingerprint(workload, params):
+    """Content identity of named inputs the workload name doesn't pin down.
+
+    GAP kernels take a ``graph`` parameter naming an entry of
+    ``GRAPH_INPUTS``; the registry entry can differ between sessions (tests
+    register scaled-down inputs under fresh names), so the generator
+    parameters must be part of the job identity, not just the name.
+    """
+    graph = params.get("graph")
+    if graph is None:
+        return {}
+    from ..workloads.graphs import GRAPH_INPUTS
+    spec = GRAPH_INPUTS.get(graph)
+    if spec is None:
+        return {}
+    return {"graph": asdict(spec)}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation, ready to run anywhere (including a worker process)."""
+
+    workload: str                     # name in repro.workloads.ALL_WORKLOADS
+    config: SimConfig
+    params: dict = field(default_factory=dict)   # workload kwargs (graph=...)
+    seed: int = 12345
+    label: str = ""                   # display label, e.g. "bfs_KR"
+    inputs: dict = field(default_factory=dict)   # named-input fingerprint
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(self, "label", self.workload)
+        if not self.inputs:
+            object.__setattr__(
+                self, "inputs", _input_fingerprint(self.workload, self.params))
+
+    @property
+    def technique(self):
+        return self.config.technique
+
+    # ------------------------------------------------------------------
+    def canonical(self):
+        """JSON-stable dict of everything that determines the result.
+
+        ``label`` is presentation-only and deliberately excluded.
+        """
+        return {
+            "workload": self.workload,
+            "params": self.params,
+            "seed": self.seed,
+            "inputs": self.inputs,
+            "config": config_to_dict(self.config),
+        }
+
+    @property
+    def key(self):
+        """Stable content hash -- the cache / dedup identity."""
+        canonical = json.dumps(self.canonical(), sort_keys=True, default=list)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        data = self.canonical()
+        data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(workload=data["workload"],
+                   config=config_from_dict(SimConfig, data["config"]),
+                   params=dict(data.get("params", {})),
+                   seed=data.get("seed", 12345),
+                   label=data.get("label", ""),
+                   inputs=dict(data.get("inputs", {})))
+
+    def __repr__(self):
+        return (f"<JobSpec {self.label}/{self.technique} seed={self.seed} "
+                f"key={self.key[:8]}>")

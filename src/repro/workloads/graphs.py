@@ -14,6 +14,7 @@ CSR layout: ``offsets`` (n+1 words) and ``neighbors`` (m words).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -89,7 +90,11 @@ def build_csr(spec, seed=12345):
     cached = _csr_cache.get(key)
     if cached is not None:
         return cached
-    rng = np.random.default_rng(seed ^ hash(spec.name) & 0xFFFF)
+    # zlib.crc32, not hash(): str hashing is salted per process
+    # (PYTHONHASHSEED), which would make the "same" graph differ between
+    # runs and between pool workers -- breaking result caching and the
+    # serial-vs-parallel determinism the jobs engine guarantees.
+    rng = np.random.default_rng(seed ^ zlib.crc32(spec.name.encode()) & 0xFFFF)
     if spec.kind == "uniform":
         src, dst = uniform_edges(spec.num_nodes, spec.num_edges, rng)
     elif spec.kind == "rmat":

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -10,6 +11,26 @@ from repro.config import SimConfig
 from repro.isa import Assembler, GuestMemory
 from repro.workloads.base import BuiltWorkload
 from repro.workloads.graphs import GRAPH_INPUTS, GraphSpec, _csr_cache
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_jobs_cache(tmp_path_factory):
+    """Point the repro.jobs result cache at a session-scratch directory.
+
+    Keeps test runs from reading or polluting the user's real cache while
+    still exercising (and benefiting from) caching within the session.
+    """
+    import repro.jobs as jobs
+    cache_dir = str(tmp_path_factory.mktemp("repro-cache"))
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    jobs.set_context(None)
+    yield cache_dir
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    jobs.set_context(None)
 
 
 @pytest.fixture

@@ -42,6 +42,36 @@ class TestCli:
         assert "MSHRs" in out
 
 
+class TestJobsFlags:
+    def test_fig11_parallel_matches_serial(self, capsys, tiny_graph):
+        argv = ["fig11", "--graphs", tiny_graph, "--instructions", "1000"]
+        assert main(argv + ["--jobs", "1", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2", "--no-cache"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_dir_flag_and_stats_and_clear(self, capsys, tmp_path,
+                                                tiny_graph):
+        import os
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["fig11", "--instructions", "500", "--graphs",
+                     tiny_graph, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(cache_dir, "runs.jsonl"))
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache dir" in out and "entries" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "0" in capsys.readouterr().out
+
+    def test_cache_unknown_action(self, capsys):
+        assert main(["cache", "defrag"]) == 2
+
+
 class TestJsonExport:
     def test_out_appends_json_lines(self, tmp_path, capsys):
         out = tmp_path / "results.jsonl"
