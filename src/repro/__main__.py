@@ -8,8 +8,11 @@ Usage::
     python -m repro fig7 --jobs 8          # process-pool parallel sweep
     python -m repro all --scale full --jobs 8
     python -m repro run bfs --graph KR --technique dvr
+    python -m repro bench --scale smoke --label pr2
+    python -m repro bench --baseline benchmarks/BENCH_pr2.json --threshold 25
     python -m repro cache stats
     python -m repro cache clear
+    python -m repro cache prune --keep-current
 
 Experiment commands execute through the ``repro.jobs`` engine: results
 are cached on disk (``--cache-dir``, default ``~/.cache/repro``) keyed by
@@ -41,6 +44,8 @@ def _scale_from_args(args):
         scale.gap_graphs = tuple(args.graphs)
     if args.instructions:
         scale.max_instructions = args.instructions
+    if args.no_fast_forward:
+        scale.fast_forward = False
     return scale
 
 
@@ -106,13 +111,46 @@ def cmd_cache(args):
         removed = cache.clear()
         print(f"removed {removed} cached result(s)")
         return 0
-    print(f"unknown cache action {action!r} (expected: stats, clear)",
+    if action == "prune":
+        if not args.keep_current:
+            print("cache prune deletes stale generations; pass "
+                  "--keep-current to confirm (current salt is kept)",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune()
+        print(f"pruned {removed} stale cached result(s); "
+              f"kept generation {cache.salt}")
+        return 0
+    print(f"unknown cache action {action!r} (expected: stats, clear, prune)",
           file=sys.stderr)
     return 2
 
 
+def cmd_bench(args):
+    from .bench import compare_reports, load_report, render_report, \
+        run_bench, write_report
+    scale = args.scale if args.scale in ("smoke", "small", "full") else "smoke"
+    report = run_bench(scale=scale,
+                       repeats=args.repeats,
+                       fast_forward=not args.no_fast_forward,
+                       profile=args.profile,
+                       progress=lambda line: print(line, file=sys.stderr))
+    print(render_report(report))
+    path = write_report(report, args.label, bench_dir=args.bench_dir)
+    print(f"[saved -> {path}]")
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        ok, lines = compare_reports(report, baseline,
+                                    threshold_pct=args.threshold)
+        print("\n".join(lines))
+        if not ok:
+            return 1
+    return 0
+
+
 def cmd_run(args):
-    config = SimConfig(max_instructions=args.instructions or 20_000)
+    config = SimConfig(max_instructions=args.instructions or 20_000,
+                       fast_forward=not args.no_fast_forward)
     if args.workload in GAP_WORKLOADS:
         workload = make_workload(args.workload, graph=args.graph or "KR")
     else:
@@ -141,19 +179,23 @@ def main(argv=None):
         prog="python -m repro",
         description="Decoupled Vector Runahead reproduction harness")
     parser.add_argument("command",
-                        choices=sorted(ALL_EXPERIMENTS) + ["all", "cache",
-                                                           "list", "run"])
+                        choices=sorted(ALL_EXPERIMENTS) + ["all", "bench",
+                                                           "cache", "list",
+                                                           "run"])
     parser.add_argument("workload", nargs="?",
                         help="workload name (for `run`) or cache action "
-                             "(for `cache`: stats, clear)")
+                             "(for `cache`: stats, clear, prune)")
     parser.add_argument("--technique", default="dvr",
                         choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
     parser.add_argument("--graph", default=None)
     parser.add_argument("--graphs", nargs="*", default=None,
                         help="GAP graph inputs for experiments")
     parser.add_argument("--instructions", type=int, default=None)
-    parser.add_argument("--scale", choices=("small", "full"),
+    parser.add_argument("--scale", choices=("smoke", "small", "full"),
                         default="small")
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        help="disable event-driven cycle skipping (slower; "
+                             "results are bit-identical either way)")
     parser.add_argument("--out", default=None,
                         help="append experiment results as JSON lines")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -166,6 +208,23 @@ def main(argv=None):
                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--job-timeout", type=float, default=None,
                         metavar="SECONDS", help="per-job timeout")
+    parser.add_argument("--keep-current", action="store_true",
+                        help="confirm `cache prune`: drop stale salt "
+                             "generations, keep the current one")
+    parser.add_argument("--label", default="local",
+                        help="bench report label (BENCH_<label>.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="bench: embed per-case cProfile top-N in the "
+                             "report")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="bench: BENCH json to compare against")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        metavar="PCT", help="bench: max tolerated cycles/sec "
+                                            "regression vs baseline")
+    parser.add_argument("--bench-dir", default="benchmarks",
+                        help="bench: directory for BENCH reports")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="bench: timing repetitions (best-of-N)")
     args = parser.parse_args(argv)
 
     env = jobs.ExecutionContext.from_env()
@@ -179,6 +238,8 @@ def main(argv=None):
         return cmd_list(args)
     if args.command == "all":
         return cmd_all(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "cache":
         return cmd_cache(args)
     if args.command == "run":

@@ -172,6 +172,12 @@ class SimConfig:
     dvr: DvrConfig = field(default_factory=DvrConfig)
     max_instructions: int = 50_000   # ROI length (committed instructions)
     warmup_instructions: int = 0     # committed instrs before stats reset
+    # Event-driven cycle skipping: when the core and engine are quiescent
+    # (nothing can writeback, issue, dispatch, or commit) the simulator
+    # jumps straight to the next scheduled event instead of iterating
+    # cycle-by-cycle.  Metrics are bit-identical either way; turning it
+    # off exists to prove exactly that (tests/test_fast_forward.py).
+    fast_forward: bool = True
 
     def with_technique(self, technique):
         """A copy of this config running ``technique``."""

@@ -102,6 +102,14 @@ class DvrEngine:
     def blocks_commit(self, now):
         return False
 
+    def quiescent(self, now):
+        # Discovery Mode is driven purely by on_dispatch, so only the
+        # subthread does per-cycle work; parked-on-a-fill counts as idle.
+        return self.subthread.quiescent(now)
+
+    def next_event(self, now):
+        return self.subthread.next_event(now)
+
     # ------------------------------------------------------------------
     # Spawning
     # ------------------------------------------------------------------

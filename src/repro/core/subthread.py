@@ -308,6 +308,21 @@ class VectorSubthread:
         self._phase = "mem_issue"
 
     # ------------------------------------------------------------------
+    # Quiescence (event-driven fast-forward)
+    # ------------------------------------------------------------------
+    def quiescent(self, now):
+        """True when :meth:`step` is a guaranteed no-op until
+        :meth:`next_event` -- the subthread is finished, or parked in the
+        ``wait`` phase for a fill/FU latency that has not elapsed."""
+        return self.done or (self._phase == "wait" and now < self._wait_until)
+
+    def next_event(self, now):
+        """Cycle at which the subthread wakes from ``wait``, or None."""
+        if self.done or self._phase != "wait":
+            return None
+        return self._wait_until
+
+    # ------------------------------------------------------------------
     # Per-cycle stepping
     # ------------------------------------------------------------------
     def step(self, now, ports):

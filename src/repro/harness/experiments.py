@@ -43,6 +43,9 @@ class ExperimentScale:
                     "randomaccess", "graph500")
     max_instructions: int = 20_000
     seed: int = 12345
+    #: Event-driven cycle skipping; off forces the pure per-cycle loop
+    #: (results are bit-identical either way -- see DESIGN.md).
+    fast_forward: bool = True
 
     @classmethod
     def from_env(cls):
@@ -56,7 +59,8 @@ class ExperimentScale:
         return cls(gap_graphs=tuple(GRAPH_INPUTS), max_instructions=50_000)
 
     def config(self, technique=TECH_OOO):
-        return SimConfig(max_instructions=self.max_instructions
+        return SimConfig(max_instructions=self.max_instructions,
+                         fast_forward=self.fast_forward,
                          ).with_technique(technique)
 
     def entries(self, gap_only=False):

@@ -115,6 +115,29 @@ class ResultCache:
             "session_misses": self.misses,
         }
 
+    def prune(self):
+        """Delete every *stale* generation (salt != current). Returns count.
+
+        Any source change re-salts the cache, so old generations can
+        never be read again; pruning reclaims their disk without losing
+        results the current build could still reuse.
+        """
+        results_root = os.path.join(self.cache_dir, "results")
+        removed = 0
+        if not os.path.isdir(results_root):
+            return removed
+        for salt in os.listdir(results_root):
+            gen_dir = os.path.join(results_root, salt)
+            if salt == self.salt or not os.path.isdir(gen_dir):
+                continue
+            for dirpath, _dirnames, filenames in os.walk(gen_dir,
+                                                         topdown=False):
+                for filename in filenames:
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+                os.rmdir(dirpath)
+        return removed
+
     def clear(self):
         """Delete every cached result (all generations). Returns count."""
         results_root = os.path.join(self.cache_dir, "results")

@@ -219,7 +219,6 @@ class MemoryHierarchy:
             # MSHR-full write miss: the store buffer would retry; we let the
             # store complete without filling the line.
             return now + self.l1d.latency
-        self.stats.demand_loads -= 0  # keep store path free of load stats
         return now + self.l1d.latency
 
     def runahead_load(self, addr, now, source):

@@ -40,6 +40,18 @@ class MshrFile:
         """Fill cycle of an in-flight miss to this line, or None."""
         return self._outstanding.get(line_addr)
 
+    def next_fill(self):
+        """Cycle of the earliest outstanding fill, or None.
+
+        Used by the core's event-driven fast-forward: an arriving fill is
+        the only spontaneous memory-system event, so it bounds how far the
+        simulator may jump.  The occupancy integral needs no span fix-up --
+        :meth:`drain` already advances it exactly, fill by fill, no matter
+        how coarsely ``now`` moves.
+        """
+        heap = self._release_heap
+        return heap[0][0] if heap else None
+
     def available(self, now):
         self.drain(now)
         return self.num_entries - len(self._outstanding)

@@ -28,5 +28,27 @@ class RunaheadEngine:
     def blocks_commit(self, now):
         return False
 
+    # -- Quiescence contract (event-driven fast-forward) ----------------
+    #
+    # When the core finds itself unable to writeback, issue, dispatch or
+    # commit, it asks the engine whether per-cycle ``tick`` calls can be
+    # elided until the next scheduled event.  An engine reporting
+    # ``quiescent(now) == True`` promises that, until ``next_event(now)``
+    # (or the core's own next event, whichever is earlier):
+    #
+    # * ``tick`` is a no-op (no issued work, no mutated statistics), and
+    # * ``blocks_dispatch``/``blocks_commit`` keep returning the same
+    #   value they return at ``now``.
+    #
+    # ``next_event`` returns the earliest future cycle at which the
+    # engine needs to run again, or ``None`` when only core events
+    # (writebacks, fetch redirect, MSHR fills) can wake it.
+
+    def quiescent(self, now):
+        return True
+
+    def next_event(self, now):
+        return None
+
     def stats(self):
         return {}

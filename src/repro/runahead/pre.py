@@ -67,6 +67,13 @@ class PreEngine(RunaheadEngine):
         # The front-end delivers runahead instructions during the interval.
         return self.active
 
+    def quiescent(self, now):
+        # An active walker consumes front-end slots every cycle.  When
+        # idle, the trigger (on_rob_stall) is monotone over a stall span:
+        # the head load's remaining latency only shrinks, so a span whose
+        # first cycle did not enter runahead never will.
+        return not self.active
+
     def tick(self, now, ports):
         if not self.active:
             return

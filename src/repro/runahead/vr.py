@@ -43,7 +43,9 @@ class VrEngine(RunaheadEngine):
         self._regs_snapshot = None
         self.intervals = 0
         self.delayed_termination_cycles = 0
-        self._head_returned = False
+        self._head = None
+        self._head_returned_at = -1
+        self._spawn_failed_at = -1  # cycle of the last failed spawn attempt
 
     # ------------------------------------------------------------------
     def on_dispatch(self, dyn, core):
@@ -72,6 +74,11 @@ class VrEngine(RunaheadEngine):
             self.intervals += 1
             self._head = head
             self._head_returned_at = -1
+        else:
+            # Failed spawns (VRAT exhaustion) still mutate subthread stats
+            # and will re-fire every stall cycle: the engine must report
+            # itself non-quiescent so fast-forward cannot elide them.
+            self._spawn_failed_at = now
 
     def tick(self, now, ports):
         if self.subthread.done:
@@ -99,6 +106,22 @@ class VrEngine(RunaheadEngine):
 
     def blocks_commit(self, now):
         return not self.subthread.done
+
+    def quiescent(self, now):
+        if self.subthread.done:
+            # A spawn that failed this cycle re-fires on every subsequent
+            # stall cycle; everything else only changes at a dispatch.
+            return self._spawn_failed_at != now
+        # While runahead is in flight, tick() does per-cycle work unless
+        # the subthread is parked waiting on a fill *and* the blocking
+        # load is still outstanding (head completion is a writeback event;
+        # afterwards delayed-termination accounting runs every cycle).
+        return self.subthread.quiescent(now) and not self._head.completed
+
+    def next_event(self, now):
+        if self.subthread.done:
+            return None
+        return self.subthread.next_event(now)
 
     def stats(self):
         sub = self.subthread_stats

@@ -16,6 +16,19 @@ Runahead engines (PRE / VR / DVR) attach via a small hook interface:
 * ``tick(now, ports)``         -- consume spare issue slots.
 * ``blocks_dispatch/blocks_commit`` -- runahead modes that occupy the
   front-end or delay termination.
+* ``quiescent(now)/next_event(now)`` -- the quiescence contract used by
+  event-driven fast-forwarding (see :meth:`OoOCore.run`): a quiescent
+  engine promises its ``tick`` is a no-op and its blocking predicates
+  are constant until ``next_event``.
+
+Event-driven fast-forwarding: when a cycle ends with nothing in flight
+that could retire, wake, issue or dispatch next cycle -- ready queue and
+retry lists empty, ROB head (if any) incomplete, dispatch structurally
+blocked, engine quiescent -- the simulator jumps ``now`` straight to the
+next scheduled event (writeback-heap head, fetch redirect, earliest MSHR
+fill, engine wake-up) and bulk-attributes the skipped span into the same
+statistics the cycle-by-cycle loop would have accumulated.  Metrics are
+bit-identical with the feature on or off (``SimConfig.fast_forward``).
 """
 
 from __future__ import annotations
@@ -53,6 +66,12 @@ class NullEngine:
     def blocks_commit(self, now):
         return False
 
+    def quiescent(self, now):
+        return True
+
+    def next_event(self, now):
+        return None
+
     def stats(self):
         return {}
 
@@ -65,6 +84,8 @@ class CoreStats:
         self.rob_full_cycles = 0          # dispatch blocked, ROB full
         self.rob_full_mem_cycles = 0      # ...with an incomplete load at head
         self.commit_blocked_runahead = 0  # delayed-termination stalls (VR)
+        self.fast_forward_cycles = 0      # cycles skipped by event jumps
+        self.fast_forward_spans = 0       # number of event jumps taken
         self.halted = False
         self.branch_lookups = 0
         self.branch_mispredicts = 0
@@ -118,6 +139,7 @@ class OoOCore:
         self._lq_count = 0
         self._sq_count = 0
         self._ready = []                # heap of (seq, DynIns)
+        self._fu_retry = []             # FU-port-blocked, ascending seq
         self._mshr_retry = []           # loads refused by a full MSHR file
         self._writebacks = []           # heap of (complete_cycle, seq, DynIns)
         self._waiting_branch = None     # mispredicted branch pending resolve
@@ -130,30 +152,144 @@ class OoOCore:
     def run(self, max_instructions=None):
         limit = max_instructions or self.config.max_instructions
         max_cycles = limit * 3000 + 2_000_000
-        while self.stats.committed < limit and not self.stats.halted:
-            self.now += 1
-            if self.now > max_cycles:
+        fast_forward = self.config.fast_forward
+        # Hot loop: every per-cycle callee is hoisted to a local once.
+        stats = self.stats
+        ports = self.ports
+        writeback = self._writeback
+        commit = self._commit
+        issue = self._issue
+        dispatch = self._dispatch
+        engine_tick = self.engine.tick
+        hierarchy_tick = self.hierarchy.tick
+        new_cycle = ports.new_cycle
+        quiescent = self._quiescent
+        while stats.committed < limit and not stats.halted:
+            now = self.now + 1
+            self.now = now
+            if now > max_cycles:
                 raise SimulationLimitError(
-                    f"no forward progress: {self.stats.committed} committed "
-                    f"after {self.now} cycles")
-            self._writeback()
-            self._commit()
-            self.ports.new_cycle()
-            self._issue()
-            self.engine.tick(self.now, self.ports)
-            self._dispatch()
-            self.hierarchy.tick(self.now)
-        self.stats.cycles = self.now
-        self.stats.branch_lookups = self.predictor.lookups
-        self.stats.branch_mispredicts = self.predictor.mispredicts
-        return self.stats
+                    f"no forward progress: {stats.committed} committed "
+                    f"after {now} cycles")
+            writeback()
+            commit()
+            new_cycle()
+            issue()
+            engine_tick(now, ports)
+            dispatch()
+            hierarchy_tick(now)
+            # The run-ending cycle (HALT committed / limit reached) is
+            # quiescent with no events left; the loop exit handles it.
+            if fast_forward and stats.committed < limit \
+                    and not stats.halted and quiescent(now):
+                self._fast_forward(now, max_cycles)
+        stats.cycles = self.now
+        stats.branch_lookups = self.predictor.lookups
+        stats.branch_mispredicts = self.predictor.mispredicts
+        return stats
+
+    # ------------------------------------------------------------------
+    # Event-driven fast-forwarding
+    # ------------------------------------------------------------------
+    def _quiescent(self, now):
+        """True when no core state can change before the next event.
+
+        Checked at the end of a fully-simulated cycle.  Requires: nothing
+        awaiting issue (ready heap, FU retries, MSHR retries all empty),
+        commit blocked on an incomplete ROB head (or an empty ROB),
+        a quiescent engine, and dispatch structurally blocked for a
+        reason that only an event can clear (fetch redirect in the
+        future, mispredicted branch pending, program drained, ROB/queue
+        back-pressure -- all released by writebacks -- or an engine that
+        occupies the front-end).
+        """
+        if self._ready or self._fu_retry or self._mshr_retry:
+            return False
+        rob, head_index = self._rob, self._rob_head
+        if head_index < len(rob) and rob[head_index].completed:
+            return False            # commit makes progress next cycle
+        if not self.engine.quiescent(now):
+            return False
+        if self._program_done or self._waiting_branch is not None:
+            return True
+        if now + 1 < self._fetch_resume:
+            return True             # redirect penalty; event scheduled
+        cfg = self.core_cfg
+        if len(rob) - head_index >= cfg.rob_size:
+            return True             # ROB full; released by writeback
+        if self._iq_count >= cfg.issue_queue_size:
+            return True             # IQ entries free only at issue<-wakeup
+        ins = self.program.instructions[self.pc]
+        if ins.is_load and self._lq_count >= cfg.load_queue_size:
+            return True             # LQ entries free at load writeback
+        if ins.is_store and self._sq_count >= cfg.store_queue_size:
+            return True             # SQ entries free at commit
+        if self.engine.blocks_dispatch(now):
+            return True             # constant while quiescent (contract)
+        return False                # dispatch can make progress: no skip
+
+    def _fast_forward(self, now, max_cycles):
+        """Jump ``self.now`` to just before the next event, attributing
+        the skipped span exactly as the per-cycle loop would have."""
+        heap = self._writebacks
+        target = heap[0][0] if heap else None
+        if self._waiting_branch is None and now < self._fetch_resume:
+            if target is None or self._fetch_resume < target:
+                target = self._fetch_resume
+        wake = self.engine.next_event(now)
+        if wake is not None and (target is None or wake < target):
+            target = wake
+        if target is None:
+            # An MSHR fill wakes nothing by itself while the retry lists
+            # are empty (the quiescence precondition), so fills do not
+            # bound the jump -- they only serve as a deadlock fallback.
+            target = self.hierarchy.mshrs.next_fill()
+        if target is None:
+            raise SimulationLimitError(
+                f"model deadlock: quiescent with no scheduled events at "
+                f"cycle {now} ({self.stats.committed} committed)")
+        if target > max_cycles + 1:
+            target = max_cycles + 1   # preserve the safety-limit abort
+        skipped = target - 1 - now
+        if skipped <= 0:
+            return
+        stats = self.stats
+        stats.fast_forward_cycles += skipped
+        stats.fast_forward_spans += 1
+        # Bulk attribution: the per-cycle stages are all no-ops across the
+        # span, so only the accounting they would have done remains.  The
+        # ROB head (and therefore every attribution below) cannot change
+        # until the event at ``target``.
+        rob, head_index = self._rob, self._rob_head
+        breakdown = stats.cycle_breakdown
+        if head_index >= len(rob):
+            breakdown["frontend"] += skipped
+        else:
+            head = rob[head_index]
+            if head.ins.is_load:
+                breakdown["memory"] += skipped
+            else:
+                breakdown["execute"] += skipped
+            if len(rob) - head_index >= self.core_cfg.rob_size:
+                stats.rob_full_cycles += skipped
+                if head.ins.is_load:
+                    # head incomplete by _quiescent precondition; the
+                    # engine's on_rob_stall is a proven no-op over the
+                    # span (trigger monotonicity / quiescence contract).
+                    stats.rob_full_mem_cycles += skipped
+        self.now = target - 1
 
     # ------------------------------------------------------------------
     def _writeback(self):
         now = self.now
         heap = self._writebacks
+        if not heap or heap[0][0] > now:
+            return
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        ready = self._ready
         while heap and heap[0][0] <= now:
-            _, _, dyn = heapq.heappop(heap)
+            _, _, dyn = heappop(heap)
             dyn.completed = True
             if dyn.ins.is_load:
                 # LQ entries recycle once the data is back (commit does not
@@ -162,7 +298,7 @@ class OoOCore:
             for dep in dyn.dependents:
                 dep.pending -= 1
                 if dep.pending == 0 and not dep.issued:
-                    heapq.heappush(self._ready, (dep.seq, dep))
+                    heappush(ready, (dep.seq, dep))
             dyn.dependents = []
             if dyn is self._waiting_branch:
                 self._waiting_branch = None
@@ -219,18 +355,45 @@ class OoOCore:
 
     # ------------------------------------------------------------------
     def _issue(self):
-        ports = self.ports
         ready = self._ready
+        carry = self._fu_retry
         if self._mshr_retry:
             for dyn in self._mshr_retry:
                 heapq.heappush(ready, (dyn.seq, dyn))
             self._mshr_retry = []
+        if not ready and not carry:
+            return
+        # FU-port-blocked instructions from the previous cycle live in
+        # ``carry`` (already in ascending seq order from the pop sequence
+        # that produced them) instead of being re-pushed through the ready
+        # heap every cycle; candidates are drawn from whichever of
+        # carry/heap holds the lowest seq, which reproduces the pure-heap
+        # pop order exactly.
+        ports = self.ports
+        now = self.now
+        can_issue = ports.can_issue
+        claim = ports.claim
+        latency = ports.latency
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        writebacks = self._writebacks
+        trace = self.trace
         retry = []
         attempts = 0
-        while ready and ports.spare_slots > 0 and attempts < 16:
+        carry_index, carry_len = 0, len(carry)
+        while ports.spare_slots > 0 and attempts < 16:
+            if carry_index < carry_len:
+                if ready and ready[0][0] < carry[carry_index].seq:
+                    _, dyn = heappop(ready)
+                else:
+                    dyn = carry[carry_index]
+                    carry_index += 1
+            elif ready:
+                _, dyn = heappop(ready)
+            else:
+                break
             attempts += 1
-            _, dyn = heapq.heappop(ready)
-            if not ports.can_issue(dyn.fu):
+            if not can_issue(dyn.fu):
                 retry.append(dyn)
                 continue
             if dyn.ins.is_load:
@@ -240,22 +403,22 @@ class OoOCore:
                 if self.perfect_memory:
                     # Symmetric oracle treatment: the line is already here,
                     # but a first touch still spends bandwidth.
-                    self.hierarchy.oracle_load(dyn.mem_addr, self.now)
+                    self.hierarchy.oracle_load(dyn.mem_addr, now)
                 else:
-                    self.hierarchy.demand_store(dyn.mem_addr, self.now)
-                dyn.complete_cycle = self.now + 1
+                    self.hierarchy.demand_store(dyn.mem_addr, now)
+                dyn.complete_cycle = now + 1
             else:
-                dyn.complete_cycle = self.now + ports.latency[dyn.fu]
-            ports.claim(dyn.fu)
+                dyn.complete_cycle = now + latency[dyn.fu]
+            claim(dyn.fu)
             dyn.issued = True
-            dyn.issue_cycle = self.now
+            dyn.issue_cycle = now
             self._iq_count -= 1
-            if self.trace is not None:
-                self.trace.on_issue(dyn, self.now)
-            heapq.heappush(self._writebacks,
-                           (dyn.complete_cycle, dyn.seq, dyn))
-        for dyn in retry:
-            heapq.heappush(ready, (dyn.seq, dyn))
+            if trace is not None:
+                trace.on_issue(dyn, now)
+            heappush(writebacks, (dyn.complete_cycle, dyn.seq, dyn))
+        if carry_index < carry_len:
+            retry.extend(carry[carry_index:])
+        self._fu_retry = retry
 
     def _issue_load(self, dyn):
         if self.perfect_memory:

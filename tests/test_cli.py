@@ -71,6 +71,98 @@ class TestJobsFlags:
     def test_cache_unknown_action(self, capsys):
         assert main(["cache", "defrag"]) == 2
 
+    def test_cache_prune_requires_keep_current(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 2
+        assert "--keep-current" in capsys.readouterr().err
+
+    def test_cache_prune_keeps_current_generation(self, capsys, tmp_path,
+                                                  tiny_graph):
+        import os
+        from repro.jobs import code_salt
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["fig11", "--instructions", "500", "--graphs",
+                     tiny_graph, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # Plant a stale generation next to the freshly-written current one.
+        stale_dir = os.path.join(cache_dir, "results", "deadbeef0000")
+        os.makedirs(stale_dir)
+        with open(os.path.join(stale_dir, "x.json"), "w") as handle:
+            handle.write("{}")
+        assert main(["cache", "prune", "--keep-current",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1" in out
+        assert not os.path.exists(stale_dir)
+        current_dir = os.path.join(cache_dir, "results", code_salt())
+        assert os.listdir(current_dir)
+
+
+class TestBenchCommand:
+    def test_bench_smoke_writes_report(self, capsys, tmp_path, monkeypatch):
+        import json
+        import os
+        # One cheap case, one repeat: exercises the full path end to end.
+        monkeypatch.setattr("repro.bench.harness.SCALE_INSTRUCTIONS",
+                            {"smoke": 500, "small": 500, "full": 500})
+        monkeypatch.setattr("repro.bench.harness.SMOKE_MATRIX",
+                            (("nas-is", "ooo"),))
+        bench_dir = str(tmp_path / "benchmarks")
+        assert main(["bench", "--scale", "smoke", "--repeats", "1",
+                     "--label", "t", "--bench-dir", bench_dir]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        path = os.path.join(bench_dir, "BENCH_t.json")
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["totals"]["cycles_per_sec"] > 0
+        assert report["cases"][0]["workload"] == "nas-is"
+        # Comparing a report against itself never regresses.
+        assert main(["bench", "--scale", "smoke", "--repeats", "1",
+                     "--label", "t2", "--bench-dir", bench_dir,
+                     "--baseline", path]) == 0
+
+    def test_bench_regression_fails(self, capsys, tmp_path, monkeypatch):
+        import json
+        import os
+        monkeypatch.setattr("repro.bench.harness.SCALE_INSTRUCTIONS",
+                            {"smoke": 500, "small": 500, "full": 500})
+        monkeypatch.setattr("repro.bench.harness.SMOKE_MATRIX",
+                            (("nas-is", "ooo"),))
+        bench_dir = str(tmp_path / "benchmarks")
+        assert main(["bench", "--scale", "smoke", "--repeats", "1",
+                     "--label", "base", "--bench-dir", bench_dir]) == 0
+        capsys.readouterr()
+        path = os.path.join(bench_dir, "BENCH_base.json")
+        with open(path) as handle:
+            report = json.load(handle)
+        # Pretend the baseline machine was 100x faster.
+        report["totals"]["cycles_per_sec"] *= 100
+        with open(path, "w") as handle:
+            json.dump(report, handle)
+        assert main(["bench", "--scale", "smoke", "--repeats", "1",
+                     "--label", "new", "--bench-dir", bench_dir,
+                     "--baseline", path, "--threshold", "25"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_profile_embeds_rows(self, tmp_path, monkeypatch, capsys):
+        import json
+        import os
+        monkeypatch.setattr("repro.bench.harness.SCALE_INSTRUCTIONS",
+                            {"smoke": 500, "small": 500, "full": 500})
+        monkeypatch.setattr("repro.bench.harness.SMOKE_MATRIX",
+                            (("nas-is", "ooo"),))
+        bench_dir = str(tmp_path / "benchmarks")
+        assert main(["bench", "--scale", "smoke", "--repeats", "1",
+                     "--label", "p", "--bench-dir", bench_dir,
+                     "--profile"]) == 0
+        capsys.readouterr()
+        with open(os.path.join(bench_dir, "BENCH_p.json")) as handle:
+            report = json.load(handle)
+        rows = report["profiles"]["nas-is/ooo"]
+        assert rows and {"function", "ncalls", "tottime_s",
+                         "cumtime_s"} <= set(rows[0])
+
 
 class TestJsonExport:
     def test_out_appends_json_lines(self, tmp_path, capsys):

@@ -162,6 +162,22 @@ class TestResultCache:
         assert code_salt() == code_salt()
         assert len(code_salt()) == 12
 
+    def test_prune_drops_only_stale_generations(self, tmp_path):
+        spec = _spec()
+        metrics = run_spec(spec)
+        stale = ResultCache(str(tmp_path), salt="oldcode")
+        stale.put(spec, metrics)
+        current = ResultCache(str(tmp_path), salt="newcode")
+        current.put(spec, metrics)
+        assert current.prune() == 1
+        stats = current.stats()
+        assert list(stats["generations"]) == ["newcode"]
+        assert current.get(spec).cycles == metrics.cycles
+
+    def test_prune_empty_cache_is_noop(self, tmp_path):
+        cache = ResultCache(str(tmp_path), salt="s1")
+        assert cache.prune() == 0
+
 
 class TestRunLedger:
     def test_records_round_trip(self, tmp_path):

@@ -123,6 +123,16 @@ class TestProvenance:
         hierarchy.demand_load(0x20000, 1, 0, 1000)
         assert hierarchy.stats.accuracy(SRC_DVR) == 0.5
 
+    def test_store_path_touches_only_store_stats(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.demand_store(0x20000, 0)                 # write miss
+        hierarchy.tick(1000)
+        hierarchy.demand_store(0x20000, 1000)              # write hit
+        assert hierarchy.stats.demand_stores == 2
+        assert hierarchy.stats.demand_loads == 0
+        assert all(count == 0
+                   for count in hierarchy.stats.demand_hits.values())
+
 
 class TestPrefetchPath:
     def test_prefetch_resident_line_is_noop(self):
