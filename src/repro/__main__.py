@@ -8,6 +8,9 @@ Usage::
     python -m repro fig7 --jobs 8          # process-pool parallel sweep
     python -m repro all --scale full --jobs 8
     python -m repro run bfs --graph KR --technique dvr
+    python -m repro run bfs --graph KR --sanitize   # invariant assertions
+    python -m repro lint                   # determinism/correctness linter
+    python -m repro lint --json lint.json --fix
     python -m repro bench --scale smoke --label pr2
     python -m repro bench --baseline benchmarks/BENCH_pr2.json --threshold 25
     python -m repro cache stats
@@ -46,6 +49,8 @@ def _scale_from_args(args):
         scale.max_instructions = args.instructions
     if args.no_fast_forward:
         scale.fast_forward = False
+    if args.sanitize:
+        scale.sanitize = True
     return scale
 
 
@@ -148,9 +153,39 @@ def cmd_bench(args):
     return 0
 
 
+def cmd_lint(args):
+    from .analysis import run_lint
+    from .analysis.fixes import apply_fixes
+    from .analysis.rules import ALL_RULE_NAMES
+    rules = None
+    if args.rules:
+        rules = {name.strip() for name in args.rules.split(",")
+                 if name.strip()}
+        unknown = rules.difference(ALL_RULE_NAMES)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(ALL_RULE_NAMES)})", file=sys.stderr)
+            return 2
+    paths = [args.workload] if args.workload else None
+    report = run_lint(paths=paths, rules=rules)
+    if args.fix:
+        fixed = apply_fixes(report)
+        for path, count in sorted(fixed.items()):
+            print(f"[fixed {count} finding(s) in {path}]")
+        if fixed:
+            report = run_lint(paths=paths, rules=rules)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"[saved -> {args.json}]")
+    return 0 if report.ok else 1
+
+
 def cmd_run(args):
     config = SimConfig(max_instructions=args.instructions or 20_000,
-                       fast_forward=not args.no_fast_forward)
+                       fast_forward=not args.no_fast_forward,
+                       sanitize=args.sanitize)
     if args.workload in GAP_WORKLOADS:
         workload = make_workload(args.workload, graph=args.graph or "KR")
     else:
@@ -180,11 +215,12 @@ def main(argv=None):
         description="Decoupled Vector Runahead reproduction harness")
     parser.add_argument("command",
                         choices=sorted(ALL_EXPERIMENTS) + ["all", "bench",
-                                                           "cache", "list",
-                                                           "run"])
+                                                           "cache", "lint",
+                                                           "list", "run"])
     parser.add_argument("workload", nargs="?",
-                        help="workload name (for `run`) or cache action "
-                             "(for `cache`: stats, clear, prune)")
+                        help="workload name (for `run`), cache action "
+                             "(for `cache`: stats, clear, prune), or a "
+                             "path to lint (for `lint`)")
     parser.add_argument("--technique", default="dvr",
                         choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
     parser.add_argument("--graph", default=None)
@@ -196,6 +232,18 @@ def main(argv=None):
     parser.add_argument("--no-fast-forward", action="store_true",
                         help="disable event-driven cycle skipping (slower; "
                              "results are bit-identical either way)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="enable runtime invariant assertions "
+                             "(repro.analysis; metrics are bit-identical "
+                             "either way)")
+    parser.add_argument("--fix", action="store_true",
+                        help="lint: apply mechanical rewrites for fixable "
+                             "findings, then re-lint")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="lint: write the machine-readable report here")
+    parser.add_argument("--rules", default=None, metavar="NAMES",
+                        help="lint: comma-separated rule names to run "
+                             "(default: all)")
     parser.add_argument("--out", default=None,
                         help="append experiment results as JSON lines")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -242,6 +290,8 @@ def main(argv=None):
         return cmd_bench(args)
     if args.command == "cache":
         return cmd_cache(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "run":
         if not args.workload:
             parser.error("`run` needs a workload name")

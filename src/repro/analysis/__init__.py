@@ -1,0 +1,40 @@
+"""Correctness tooling for the simulator: determinism linter + sanitizer.
+
+Two halves, both aimed at the same contract -- the simulator is
+deterministic and its microarchitectural invariants hold on every cycle:
+
+* a **static linter** (:mod:`repro.analysis.linter`): AST passes over the
+  ``repro`` sources that flag nondeterminism sources (builtin ``hash()``
+  / ``id()`` ordering, unseeded RNGs, wall-clock reads in cycle logic,
+  iteration over ``set``s), schema-drift checks (every ``SimConfig`` /
+  ``Metrics`` field must survive the dict round-trip and participate in
+  ``config_digest``), and the engine quiescence contract
+  (:mod:`repro.analysis.contracts`);
+* a **runtime sanitizer** (:mod:`repro.analysis.sanitize`): cheap
+  instrumented assertions (``SimConfig.sanitize`` / ``--sanitize``)
+  wired into the core, the memory hierarchy and the DVR subthread --
+  commit monotonicity, MSHR leak accounting, ROB/queue occupancy bounds,
+  VRAT / reconvergence-stack limits, and a fast-forward cross-check.
+
+Surface: ``python -m repro lint [--fix] [--json PATH]`` and the
+``--sanitize`` flag on ``run`` / experiment / ``bench`` commands.
+
+``ANALYSIS_VERSION`` names the rule catalogue; the ``repro.jobs`` ledger
+stamps it (plus the sanitize flag) into every record so results produced
+by a pre-sanitizer tree remain distinguishable.
+"""
+
+from .linter import (ANALYSIS_VERSION, Finding, LintReport, iter_source_files,
+                     lint_file, run_lint)
+from .sanitize import Sanitizer, SanitizerError
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "Finding",
+    "LintReport",
+    "Sanitizer",
+    "SanitizerError",
+    "iter_source_files",
+    "lint_file",
+    "run_lint",
+]

@@ -1,0 +1,100 @@
+"""Engine quiescence-contract check (runtime reflection half).
+
+The event-driven fast-forward (PR 2) is only sound if every engine
+honours the quiescence contract documented on
+:class:`repro.runahead.base.RunaheadEngine`: ``quiescent(now)`` promises
+``tick`` is a no-op and the blocking predicates are constant until
+``next_event(now)``.  The AST rule ``engine-quiescence`` flags source
+files where an engine class overrides ``tick``/``blocks_*`` without
+revisiting ``quiescent``; this module complements it by reflecting over
+the *live* classes -- catching engines registered outside the lint
+path, wrong signatures, or non-callable attributes.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from .linter import Finding
+
+#: (self, now) -- the signature both contract methods must accept.
+_CONTRACT_METHODS = ("quiescent", "next_event")
+
+
+def engine_classes():
+    """Every engine class the simulator can drive.
+
+    ``RunaheadEngine`` subclasses are discovered transitively; the two
+    duck-typed engines (``NullEngine``, ``DvrEngine``) are added
+    explicitly because they do not inherit the base.
+    """
+    from ..core.dvr import DvrEngine
+    from ..runahead.base import RunaheadEngine
+    from ..uarch.core import NullEngine
+
+    classes = [RunaheadEngine, NullEngine, DvrEngine]
+    stack = [RunaheadEngine]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub not in classes:
+                classes.append(sub)
+                stack.append(sub)
+    return classes
+
+
+def _check_signature(cls, name):
+    """None if ``cls.<name>`` is callable as ``method(self, now)``."""
+    method = getattr(cls, name, None)
+    if method is None:
+        return f"{cls.__name__}.{name} is missing"
+    if not callable(method):
+        return f"{cls.__name__}.{name} is not callable"
+    try:
+        signature = inspect.signature(method)
+    except (TypeError, ValueError):
+        return None     # builtins without introspectable signatures
+    try:
+        # Unbound function: (self, now).
+        signature.bind(object(), 0)
+    except TypeError:
+        return (f"{cls.__name__}.{name}{signature} does not accept "
+                f"(self, now)")
+    return None
+
+
+def check_engine_contracts():
+    """Reflect over live engine classes; returns schema Findings."""
+    findings = []
+    for cls in engine_classes():
+        try:
+            path = inspect.getsourcefile(cls) or "<unknown>"
+            _, line = inspect.getsourcelines(cls)
+        except (OSError, TypeError):
+            path, line = "<unknown>", 1
+        for name in _CONTRACT_METHODS:
+            problem = _check_signature(cls, name)
+            if problem:
+                findings.append(Finding(
+                    rule="engine-contract", path=path, line=line, col=0,
+                    message=problem + " (quiescence contract, see "
+                            "RunaheadEngine)"))
+        # An engine that overrides tick() must also revisit quiescent():
+        # the base's unconditional ``return True`` would let fast-forward
+        # elide the new per-cycle work.  Mirrors the AST rule, but works
+        # on classes assembled dynamically.  The base itself (tick is a
+        # documented no-op there) is exempt.
+        if cls.__name__ == "RunaheadEngine":
+            continue
+        overrides_tick = "tick" in vars(cls)
+        overrides_quiescent = any(
+            "quiescent" in vars(klass)
+            for klass in cls.__mro__
+            if klass is not object and klass.__name__ != "RunaheadEngine")
+        if overrides_tick and not overrides_quiescent:
+            findings.append(Finding(
+                rule="engine-contract", path=path, line=line, col=0,
+                message=f"{cls.__name__} overrides tick() but inherits "
+                        f"quiescent() from the base (which claims "
+                        f"unconditional quiescence); fast-forward could "
+                        f"elide its work"))
+    return findings

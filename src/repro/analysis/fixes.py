@@ -1,0 +1,103 @@
+"""``repro lint --fix``: textual application of mechanical rewrites.
+
+Rules attach a ``fix`` payload to findings they know how to repair:
+
+* ``wrap_sorted``     -- wrap a set iteration expression in ``sorted(...)``
+                         (hash-order -> deterministic order);
+* ``reroute_random``  -- rewrite a bare ``random.<fn>(...)`` call to go
+                         through a module-level seeded RNG
+                         (``_repro_rng = random.Random(<seed>)``), which
+                         is inserted after the ``import random`` line if
+                         the module does not define one yet.
+
+Fixes are applied right-to-left, bottom-to-top, so earlier edits never
+shift later offsets.  Suppressed findings are left alone.
+"""
+
+from __future__ import annotations
+
+RNG_NAME = "_repro_rng"
+RNG_SEED = 0x5EED
+_RNG_LINE = (f"{RNG_NAME} = random.Random({RNG_SEED:#x})"
+             "  # seeded per-run RNG (repro lint --fix)")
+
+
+def fix_source(source, findings):
+    """Apply every fixable, unsuppressed finding to ``source``.
+
+    Returns ``(new_source, applied)`` where ``applied`` is the number of
+    rewrites performed.  Fixes whose source text no longer matches the
+    payload (the file changed since linting) are skipped, not botched.
+    """
+    newline = "\r\n" if "\r\n" in source else "\n"
+    lines = source.split(newline)
+    fixes = []
+    seen = set()
+    for finding in findings:
+        fix = finding.fix
+        if fix is None or finding.suppressed:
+            continue
+        key = (fix["kind"], fix["line"], fix["col"], fix.get("end_col"))
+        if key not in seen:
+            seen.add(key)
+            fixes.append(fix)
+    applied = 0
+    need_rng = False
+    for fix in sorted(fixes, key=lambda f: (f["line"], f["col"]),
+                      reverse=True):
+        index = fix["line"] - 1
+        if not 0 <= index < len(lines):
+            continue
+        text = lines[index]
+        col, end = fix["col"], fix["end_col"]
+        if fix["kind"] == "wrap_sorted":
+            if end > len(text):
+                continue
+            lines[index] = (text[:col] + "sorted(" + text[col:end] + ")"
+                            + text[end:])
+            applied += 1
+        elif fix["kind"] == "reroute_random":
+            if text[col:end] != "random":
+                continue
+            lines[index] = text[:col] + RNG_NAME + text[end:]
+            applied += 1
+            need_rng = True
+    if need_rng and not any(
+            line.startswith(f"{RNG_NAME} =") for line in lines):
+        for index, line in enumerate(lines):
+            if line.strip() == "import random" \
+                    or line.strip().startswith("import random "):
+                lines.insert(index + 1, _RNG_LINE)
+                break
+        else:
+            # No plain import found (e.g. ``from random import ...``):
+            # prepend both the import and the RNG at the top, after any
+            # module docstring/__future__ block would be nicer, but a
+            # module that trips this rule without importing random is
+            # already unusual -- keep it simple and visible.
+            lines.insert(0, "import random")
+            lines.insert(1, _RNG_LINE)
+    return newline.join(lines), applied
+
+
+def apply_fixes(report, write=True):
+    """Apply fixes for every finding in a LintReport, grouped by file.
+
+    Returns ``{path: applied_count}`` for files that changed.  With
+    ``write=False`` nothing touches disk (dry run).
+    """
+    by_path = {}
+    for finding in report.findings:
+        if finding.fix is not None and not finding.suppressed:
+            by_path.setdefault(finding.path, []).append(finding)
+    results = {}
+    for path, findings in sorted(by_path.items()):
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        new_source, applied = fix_source(source, findings)
+        if applied and new_source != source:
+            results[path] = applied
+            if write:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(new_source)
+    return results

@@ -1,0 +1,227 @@
+"""Linter driver: file discovery, suppressions, reports, JSON output.
+
+The linter has two kinds of checks:
+
+* **AST passes** (:mod:`repro.analysis.rules`) run per source file;
+* **dynamic checks** -- schema drift (:mod:`repro.analysis.schema`) and
+  the engine quiescence contract (:mod:`repro.analysis.contracts`) --
+  run once per lint over the live package.
+
+Suppressions: a trailing ``# repro: allow(rule-name)`` comment on the
+flagged line keeps the finding in the report but marks it suppressed
+(several rules comma-separate; ``allow(*)`` suppresses every rule on the
+line).  Suppressed findings never fail the lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+
+#: Version of the analysis-rule catalogue.  Bump on any rule change; the
+#: jobs ledger records it so results vetted by older rules are
+#: distinguishable (see repro.jobs.ledger).
+ANALYSIS_VERSION = "1"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message", "suppressed",
+                 "fix")
+
+    def __init__(self, rule, path, line, col, message, suppressed=False,
+                 fix=None):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+        self.suppressed = suppressed
+        self.fix = fix          # mechanical-rewrite payload, or None
+
+    @property
+    def fixable(self):
+        return self.fix is not None
+
+    def location(self):
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self):
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "suppressed": self.suppressed, "fixable": self.fixable}
+
+    def render(self):
+        mark = " [suppressed]" if self.suppressed else ""
+        return f"{self.location()}: {self.rule}: {self.message}{mark}"
+
+    def __repr__(self):
+        return f"<Finding {self.rule} {self.location()}>"
+
+
+class LintContext:
+    """Per-file information handed to every AST rule."""
+
+    __slots__ = ("path", "relpath", "source", "lines")
+
+    def __init__(self, path, relpath, source):
+        self.path = path
+        self.relpath = relpath      # package-relative, "/"-separated
+        self.source = source
+        self.lines = source.splitlines()
+
+
+class LintReport:
+    """Everything one lint run produced."""
+
+    def __init__(self, findings, files_checked, version=ANALYSIS_VERSION):
+        self.findings = findings
+        self.files_checked = files_checked
+        self.version = version
+
+    @property
+    def errors(self):
+        """Findings that fail the lint (unsuppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def ok(self):
+        return not self.errors
+
+    def counts_by_rule(self):
+        counts = {}
+        for finding in self.errors:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self):
+        return {
+            "version": self.version,
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "suppressed": len(self.findings) - len(self.errors),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self):
+        lines = [f.render() for f in self.findings]
+        suppressed = len(self.findings) - len(self.errors)
+        tail = (f"repro lint v{self.version}: {self.files_checked} file(s), "
+                f"{len(self.errors)} finding(s)")
+        if suppressed:
+            tail += f", {suppressed} suppressed"
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Discovery + per-file lint
+# ---------------------------------------------------------------------------
+def package_root():
+    """Directory of the ``repro`` package (the default lint target)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def iter_source_files(paths=None):
+    """Yield (path, relpath) for every .py file to lint, sorted."""
+    if not paths:
+        paths = [package_root()]
+    root = package_root()
+    seen = set()
+    for target in paths:
+        target = os.path.abspath(target)
+        if os.path.isfile(target):
+            files = [target]
+        else:
+            files = []
+            for dirpath, dirnames, filenames in os.walk(target):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d != "__pycache__")
+                files.extend(os.path.join(dirpath, name)
+                             for name in filenames
+                             if name.endswith(".py"))
+            files.sort()
+        for path in files:
+            if path in seen:
+                continue
+            seen.add(path)
+            if path.startswith(root + os.sep):
+                relpath = os.path.relpath(path, root).replace(os.sep, "/")
+            else:
+                relpath = os.path.basename(path)
+            yield path, relpath
+
+
+def _apply_suppressions(findings, context):
+    for finding in findings:
+        if not (1 <= finding.line <= len(context.lines)):
+            continue
+        match = _SUPPRESS_RE.search(context.lines[finding.line - 1])
+        if match is None:
+            continue
+        allowed = {name.strip() for name in match.group(1).split(",")}
+        if "*" in allowed or finding.rule in allowed:
+            finding.suppressed = True
+
+
+def lint_file(path, relpath=None, rules=None, source=None):
+    """Run the AST rules over one file; returns a list of Findings."""
+    from .rules import AST_RULES
+    if source is None:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    context = LintContext(path, relpath or os.path.basename(path), source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(rule="syntax-error", path=path,
+                        line=error.lineno or 0, col=error.offset or 0,
+                        message=f"cannot parse: {error.msg}")]
+    findings = []
+    for name, rule in AST_RULES.items():
+        if rules is not None and name not in rules:
+            # The nondet-hash pass also emits nondet-id.
+            if not (name == "nondet-hash" and "nondet-id" in rules):
+                continue
+        findings.extend(rule(tree, context))
+    if rules is not None:
+        findings = [f for f in findings if f.rule in rules]
+    _apply_suppressions(findings, context)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def run_lint(paths=None, rules=None, dynamic=None):
+    """Lint ``paths`` (default: the whole ``repro`` package).
+
+    ``rules`` optionally restricts to a set of rule names.  ``dynamic``
+    controls the package-level checks (schema drift, engine contracts);
+    by default they run exactly when linting the whole package.
+    """
+    findings = []
+    files_checked = 0
+    for path, relpath in iter_source_files(paths):
+        files_checked += 1
+        findings.extend(lint_file(path, relpath, rules=rules))
+    if dynamic is None:
+        dynamic = not paths
+    if dynamic:
+        from .contracts import check_engine_contracts
+        from .schema import check_config_schema, check_metrics_schema
+        for check in (check_config_schema, check_metrics_schema,
+                      check_engine_contracts):
+            extra = check()
+            if rules is not None:
+                extra = [f for f in extra if f.rule in rules]
+            findings.extend(extra)
+    return LintReport(findings, files_checked)

@@ -1,0 +1,178 @@
+"""Schema-drift checks: config round-trip/digest and Metrics fields.
+
+A new ``SimConfig`` knob that does not survive
+``config_from_dict(config_to_dict(...))`` silently falls back to its
+default in every cached / worker-process run; one that does not move
+``config_digest`` lets the ``repro.jobs`` cache serve stale results for
+a different configuration.  A new ``Metrics`` attribute missing from
+``_FIELDS`` is dropped by serialization.  These checks derive the field
+lists from the live dataclasses, so they can't go stale themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+
+from .linter import Finding
+
+
+def _module_location(obj):
+    """(path, lineno) of ``obj``'s source, best effort."""
+    try:
+        path = inspect.getsourcefile(obj) or "<unknown>"
+    except TypeError:
+        path = "<unknown>"
+    try:
+        _, line = inspect.getsourcelines(obj)
+    except (OSError, TypeError):
+        line = 1
+    return path, line
+
+
+def _perturb(value):
+    """A value unequal to ``value`` but of the same JSON-able shape."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        return value + "_perturbed"
+    if isinstance(value, tuple):
+        return value + (len(value) + 1,)
+    return None
+
+
+def iter_leaf_fields(cls, prefix=""):
+    """Yield dotted paths of every leaf (non-dataclass) config field.
+
+    Nested config dataclasses are recognised by their default value (all
+    of them use ``default_factory``), which sidesteps string annotations
+    from ``from __future__ import annotations``.
+    """
+    for f in dataclasses.fields(cls):
+        default = _field_default(f)
+        if dataclasses.is_dataclass(default):
+            yield from iter_leaf_fields(type(default), prefix + f.name + ".")
+        else:
+            yield prefix + f.name
+
+
+def _field_default(f):
+    if f.default is not dataclasses.MISSING:
+        return f.default
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return f.default_factory()
+    return None
+
+
+def _get_path(obj, dotted):
+    for part in dotted.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _replace_path(config, dotted, value):
+    """``dataclasses.replace`` along a dotted path."""
+    parts = dotted.split(".")
+    if len(parts) == 1:
+        return dataclasses.replace(config, **{parts[0]: value})
+    inner = _replace_path(getattr(config, parts[0]), ".".join(parts[1:]),
+                          value)
+    return dataclasses.replace(config, **{parts[0]: inner})
+
+
+def check_config_schema():
+    """Perturb every SimConfig leaf: round-trip + digest sensitivity."""
+    from ..config import (SimConfig, config_digest, config_from_dict,
+                          config_to_dict)
+
+    findings = []
+    path, line = _module_location(SimConfig)
+
+    def fail(dotted, message):
+        findings.append(Finding(
+            rule="schema-roundtrip", path=path, line=line, col=0,
+            message=f"SimConfig.{dotted}: {message}"))
+
+    base = SimConfig()
+    base_digest = config_digest(base)
+    restored = config_from_dict(SimConfig, config_to_dict(base))
+    if restored != base:
+        fail("<all>", "default config does not survive dict round-trip")
+        return findings
+    for dotted in iter_leaf_fields(SimConfig):
+        current = _get_path(base, dotted)
+        perturbed_value = _perturb(current)
+        if perturbed_value is None:
+            fail(dotted, f"cannot perturb value of type "
+                         f"{type(current).__name__}; extend "
+                         f"analysis.schema._perturb")
+            continue
+        perturbed = _replace_path(base, dotted, perturbed_value)
+        restored = config_from_dict(SimConfig, config_to_dict(perturbed))
+        if _get_path(restored, dotted) != perturbed_value:
+            fail(dotted, "field does not survive the dict round-trip "
+                         "(config_from_dict drops or mangles it)")
+        if config_digest(perturbed) == base_digest:
+            fail(dotted, "field does not participate in config_digest; "
+                         "the jobs cache would serve stale results")
+    return findings
+
+
+def check_metrics_schema(source=None, path=None):
+    """Every ``self.X = ...`` in Metrics.__init__ must be in ``_FIELDS``.
+
+    ``source`` / ``path`` exist for tests; by default the live
+    ``repro.harness.metrics`` module is inspected.
+    """
+    from ..harness import metrics as metrics_module
+
+    if source is None:
+        path = inspect.getsourcefile(metrics_module)
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path or "<metrics>")
+
+    declared = set(metrics_module._FIELDS) | {"config"}
+    findings = []
+    init = None
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ClassDef) and node.name == "Metrics"):
+            init = next((item for item in node.body
+                         if isinstance(item, ast.FunctionDef)
+                         and item.name == "__init__"), None)
+    if init is None:
+        findings.append(Finding(
+            rule="schema-roundtrip", path=path, line=1, col=0,
+            message="Metrics.__init__ not found"))
+        return findings
+
+    assigned = {}
+    for node in ast.walk(init):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                assigned.setdefault(target.attr, node.lineno)
+    for name, lineno in sorted(assigned.items()):
+        if name not in declared:
+            findings.append(Finding(
+                rule="schema-roundtrip", path=path, line=lineno, col=0,
+                message=f"Metrics.{name} is assigned in __init__ but "
+                        f"missing from _FIELDS; to_dict/from_dict will "
+                        f"drop it"))
+    for name in sorted(declared - set(assigned)):
+        findings.append(Finding(
+            rule="schema-roundtrip", path=path, line=init.lineno, col=0,
+            message=f"Metrics._FIELDS lists '{name}' but __init__ never "
+                    f"assigns it; from_dict round-trip would KeyError"))
+    return findings

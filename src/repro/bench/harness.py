@@ -24,14 +24,13 @@ import platform
 import pstats
 import time
 
-from ..config import TECH_ORACLE
-from ..harness.runner import build_engine
-from ..memsys.hierarchy import MemoryHierarchy
-from ..uarch.core import OoOCore
+from ..harness.runner import build_sim
 from .workloads import SCALE_INSTRUCTIONS, SMOKE_MATRIX, bench_config, \
     build_case
 
-SCHEMA = 1
+#: Schema 2 adds per-case sanitized timings (wall_s_sanitize /
+#: sanitize_overhead) and the equivalent totals.
+SCHEMA = 2
 #: Regression gate metric: simulated cycles per host second, aggregated
 #: over the matrix with fast-forward on (the configuration users run).
 METRIC = "cycles_per_sec"
@@ -40,12 +39,7 @@ METRIC = "cycles_per_sec"
 def _time_once(workload, config):
     """One cold simulation; returns (wall seconds, CoreStats)."""
     built = build_case(workload, config)
-    hierarchy = MemoryHierarchy(config.memsys, config.stride_pf, config.imp,
-                                built.memory)
-    engine = build_engine(config, built.program, built.memory, hierarchy)
-    core = OoOCore(built.program, built.memory, config, hierarchy,
-                   engine=engine,
-                   perfect_memory=config.technique == TECH_ORACLE)
+    core = build_sim(built, config)
     gc.collect()
     gc.disable()
     try:
@@ -92,7 +86,11 @@ def run_bench(scale="smoke", repeats=3, fast_forward=True, profile=False,
     Each case is timed with fast-forward on *and* off so the report
     carries the speedup the event-driven scheduler delivers; the
     regression metric uses the ``fast_forward`` configuration (the one
-    users actually run).
+    users actually run).  Each case is additionally timed with the
+    runtime sanitizer enabled, so the report records the sanitize-on
+    cost -- and the sanitized run doubles as a smoke check: it must
+    produce exactly the same cycle/instruction counts as the timed run,
+    with every assertion live.
     """
     if matrix is None:
         matrix = SMOKE_MATRIX
@@ -108,12 +106,23 @@ def run_bench(scale="smoke", repeats=3, fast_forward=True, profile=False,
         wall_off, _ = _time_best(workload, cfg_off, repeats)
         wall_on, core = _time_best(
             workload, cfg_on if fast_forward else cfg_off, repeats)
+        cfg_san = bench_config(technique, instructions,
+                               fast_forward=fast_forward, sanitize=True)
+        wall_san, core_san = _time_best(workload, cfg_san, repeats)
+        if (core_san.cycles, core_san.committed) != \
+                (core.cycles, core.committed):
+            raise AssertionError(
+                f"sanitized run of {label} diverged: "
+                f"{core_san.cycles}/{core_san.committed} vs "
+                f"{core.cycles}/{core.committed} cycles/instructions")
         cases.append({
             "workload": workload,
             "technique": technique,
             "wall_s": round(wall_on, 4),
             "wall_s_no_ff": round(wall_off, 4),
             "ff_speedup": round(wall_off / wall_on, 3),
+            "wall_s_sanitize": round(wall_san, 4),
+            "sanitize_overhead": round(wall_san / wall_on, 3),
             "cycles": core.cycles,
             "instructions": core.committed,
             "cycles_per_sec": round(core.cycles / wall_on, 1),
@@ -127,6 +136,7 @@ def run_bench(scale="smoke", repeats=3, fast_forward=True, profile=False,
 
     wall = sum(c["wall_s"] for c in cases)
     wall_off = sum(c["wall_s_no_ff"] for c in cases)
+    wall_san = sum(c["wall_s_sanitize"] for c in cases)
     cycles = sum(c["cycles"] for c in cases)
     committed = sum(c["instructions"] for c in cases)
     report = {
@@ -141,6 +151,8 @@ def run_bench(scale="smoke", repeats=3, fast_forward=True, profile=False,
             "wall_s": round(wall, 4),
             "wall_s_no_ff": round(wall_off, 4),
             "ff_speedup": round(wall_off / wall, 3),
+            "wall_s_sanitize": round(wall_san, 4),
+            "sanitize_overhead": round(wall_san / wall, 3),
             "cycles": cycles,
             "instructions": committed,
             "cycles_per_sec": round(cycles / wall, 1),
@@ -207,19 +219,24 @@ def render_report(report):
     lines = [f"bench scale={report['scale']} repeats={report['repeats']} "
              f"fast_forward={report['fast_forward']}"]
     header = (f"{'case':18s} {'wall_s':>8s} {'no_ff':>8s} {'speedup':>8s} "
-              f"{'cyc/s':>12s} {'skip%':>6s}")
+              f"{'san':>7s} {'cyc/s':>12s} {'skip%':>6s}")
     lines.append(header)
     for case in report["cases"]:
         skip = (case["fast_forward_cycles"] / case["cycles"]
                 if case["cycles"] else 0.0)
+        san = case.get("sanitize_overhead")
+        san_text = f"{san:6.2f}x" if san is not None else f"{'-':>7s}"
         lines.append(
             f"{case['workload'] + '/' + case['technique']:18s} "
             f"{case['wall_s']:8.3f} {case['wall_s_no_ff']:8.3f} "
-            f"{case['ff_speedup']:7.2f}x {case['cycles_per_sec']:12,.0f} "
-            f"{skip:6.1%}")
+            f"{case['ff_speedup']:7.2f}x {san_text} "
+            f"{case['cycles_per_sec']:12,.0f} {skip:6.1%}")
     totals = report["totals"]
+    total_san = totals.get("sanitize_overhead")
+    total_san_text = (f"{total_san:6.2f}x" if total_san is not None
+                      else f"{'-':>7s}")
     lines.append(
         f"{'TOTAL':18s} {totals['wall_s']:8.3f} "
         f"{totals['wall_s_no_ff']:8.3f} {totals['ff_speedup']:7.2f}x "
-        f"{totals['cycles_per_sec']:12,.0f}")
+        f"{total_san_text} {totals['cycles_per_sec']:12,.0f}")
     return "\n".join(lines)

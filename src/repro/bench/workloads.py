@@ -75,14 +75,16 @@ def build_chase(entries=1 << 16, seed=7, memory_bytes=_CHASE_MEMORY_BYTES):
                          metadata={"entries": entries, "seed": seed})
 
 
-def bench_config(technique, instructions, fast_forward=True):
+def bench_config(technique, instructions, fast_forward=True,
+                 sanitize=False):
     """The pinned memory-bound profile for ``technique``.
 
     Shrinks L2/L3 well below the smoke working sets and disables the
     stride prefetcher so loads actually reach DRAM at smoke scale.
     """
     cfg = SimConfig(max_instructions=instructions,
-                    fast_forward=fast_forward).with_technique(technique)
+                    fast_forward=fast_forward,
+                    sanitize=sanitize).with_technique(technique)
     memsys = replace(cfg.memsys,
                      l2=replace(cfg.memsys.l2, size_bytes=32 * 1024),
                      l3=replace(cfg.memsys.l3, size_bytes=64 * 1024))

@@ -178,6 +178,11 @@ class SimConfig:
     # cycle-by-cycle.  Metrics are bit-identical either way; turning it
     # off exists to prove exactly that (tests/test_fast_forward.py).
     fast_forward: bool = True
+    # Runtime sanitizer (repro.analysis.sanitize): invariant assertions
+    # wired into the core, memory hierarchy and DVR subthread.  Pure
+    # observation -- metrics are bit-identical with it on or off; a
+    # violation raises SanitizerError instead of corrupting results.
+    sanitize: bool = False
 
     def with_technique(self, technique):
         """A copy of this config running ``technique``."""

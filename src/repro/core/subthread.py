@@ -142,6 +142,7 @@ class VectorSubthread:
 
         self.vrat = Vrat(core_config, dvr_config)
         self.reconv = ReconvergenceStack(dvr_config.reconvergence_depth)
+        self.sanitizer = None           # attached by the harness (--sanitize)
 
         self.active = []                # active lane ids
         self.svals = [0] * NUM_REGS     # scalar register values
@@ -327,6 +328,8 @@ class VectorSubthread:
     # ------------------------------------------------------------------
     def step(self, now, ports):
         """Advance the subthread using spare issue slots at cycle ``now``."""
+        if self.sanitizer is not None and not self.done:
+            self.sanitizer.on_subthread_step(self)
         guard = 0
         while not self.done and guard < 64:
             guard += 1

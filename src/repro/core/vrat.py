@@ -30,6 +30,9 @@ class Vrat:
         # subthread allocates from what is left.
         self._int_free = core_config.phys_int_regs - main_thread_int_regs_in_use
         self._vec_free = core_config.phys_vec_regs
+        # Free-list ceilings, for the runtime sanitizer's bound checks.
+        self.int_capacity = self._int_free
+        self.vec_capacity = self._vec_free
         self._copies = dvr_config.vector_copies
         self._kind = [None] * NUM_REGS
         self.vector_allocs = 0

@@ -46,6 +46,9 @@ class ExperimentScale:
     #: Event-driven cycle skipping; off forces the pure per-cycle loop
     #: (results are bit-identical either way -- see DESIGN.md).
     fast_forward: bool = True
+    #: Runtime sanitizer assertions (repro.analysis); also observation
+    #: only -- metrics are bit-identical with it on or off.
+    sanitize: bool = False
 
     @classmethod
     def from_env(cls):
@@ -61,6 +64,7 @@ class ExperimentScale:
     def config(self, technique=TECH_OOO):
         return SimConfig(max_instructions=self.max_instructions,
                          fast_forward=self.fast_forward,
+                         sanitize=self.sanitize,
                          ).with_technique(technique)
 
     def entries(self, gap_only=False):

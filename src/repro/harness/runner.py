@@ -29,14 +29,32 @@ def build_engine(config, program, guest_memory, hierarchy):
     raise ValueError(f"unknown technique {technique!r}")
 
 
-def run_built(built, config):
-    """Simulate an already-built workload instance."""
+def build_sim(built, config):
+    """Assemble the full simulator for a built workload: hierarchy, engine
+    and core, with the runtime sanitizer attached when
+    ``config.sanitize`` is set.  Returns the :class:`OoOCore` (engine and
+    hierarchy hang off it)."""
     hierarchy = MemoryHierarchy(config.memsys, config.stride_pf, config.imp,
                                 built.memory)
     engine = build_engine(config, built.program, built.memory, hierarchy)
-    core = OoOCore(built.program, built.memory, config, hierarchy,
+    sanitizer = None
+    if config.sanitize:
+        from ..analysis.sanitize import Sanitizer
+        sanitizer = Sanitizer(config)
+        hierarchy.sanitizer = sanitizer
+        subthread = getattr(engine, "subthread", None)
+        if subthread is not None:
+            subthread.sanitizer = sanitizer
+    return OoOCore(built.program, built.memory, config, hierarchy,
                    engine=engine,
-                   perfect_memory=config.technique == TECH_ORACLE)
+                   perfect_memory=config.technique == TECH_ORACLE,
+                   sanitizer=sanitizer)
+
+
+def run_built(built, config):
+    """Simulate an already-built workload instance."""
+    core = build_sim(built, config)
+    hierarchy, engine = core.hierarchy, core.engine
     core_stats = core.run()
     return Metrics(
         workload=built.name,

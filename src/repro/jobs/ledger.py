@@ -16,6 +16,19 @@ import os
 import time
 
 
+def _analysis_version():
+    """Rule-catalogue version stamped into every record.
+
+    Imported lazily (and defensively) so ledger writes keep working even
+    if the analysis package is unavailable in a stripped deployment.
+    """
+    try:
+        from ..analysis import ANALYSIS_VERSION
+        return ANALYSIS_VERSION
+    except ImportError:  # pragma: no cover - stripped installs only
+        return None
+
+
 class RunLedger:
     """Append-only JSONL log of every job an executor processed."""
 
@@ -38,6 +51,12 @@ class RunLedger:
             "wall_s": round(wall_s, 6),
             "worker": worker,          # pid, or "parent" for in-process runs
             "status": status,          # "ok" | "retried" | "failed"
+            # Analysis provenance: whether the run had the runtime
+            # sanitizer enabled, and which rule catalogue vetted the
+            # tree -- results from a pre-sanitizer tree stay
+            # distinguishable from sanitized ones.
+            "sanitize": bool(getattr(spec.config, "sanitize", False)),
+            "analysis_rules": _analysis_version(),
         }
         if metrics is not None:
             entry.update(ipc=round(metrics.ipc, 6),

@@ -105,6 +105,7 @@ class MemoryHierarchy:
         self.imp = IndirectMemoryPrefetcher(imp_config, guest_memory,
                                             l1_cache=self.l1d)
         self.stats = MemStats()
+        self.sanitizer = None       # attached by the harness (--sanitize)
         self._l12_latency = config.l1d.latency + config.l2.latency
         self._l123_latency = self._l12_latency + config.l3.latency
 
@@ -264,6 +265,8 @@ class MemoryHierarchy:
 
     def tick(self, now):
         self.mshrs.drain(now)
+        if self.sanitizer is not None:
+            self.sanitizer.on_mem_tick(self, now)
 
     # ------------------------------------------------------------------
     def _train_prefetchers(self, pc, addr, value, result, now):

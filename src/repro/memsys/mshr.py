@@ -20,6 +20,7 @@ class MshrFile:
         self._last_change = 0
         self.peak_occupancy = 0
         self.allocations = 0
+        self.releases = 0
         self.full_rejections = 0
 
     def _advance(self, now):
@@ -35,6 +36,7 @@ class MshrFile:
             if current is not None and current <= now:
                 self._advance(fill_cycle)
                 del self._outstanding[line_addr]
+                self.releases += 1
 
     def lookup(self, line_addr):
         """Fill cycle of an in-flight miss to this line, or None."""

@@ -116,7 +116,8 @@ class CoreStats:
 
 class OoOCore:
     def __init__(self, program, guest_memory, config, hierarchy,
-                 engine=None, perfect_memory=False, trace=None):
+                 engine=None, perfect_memory=False, trace=None,
+                 sanitizer=None):
         self.program = program
         self.mem = guest_memory
         self.config = config
@@ -125,6 +126,7 @@ class OoOCore:
         self.engine = engine or NullEngine()
         self.perfect_memory = perfect_memory
         self.trace = trace
+        self.sanitizer = sanitizer      # repro.analysis.sanitize, or None
         self.predictor = TagePredictor(config.branch)
         self.ports = IssuePorts(config.core)
         self.stats = CoreStats()
@@ -253,6 +255,8 @@ class OoOCore:
         skipped = target - 1 - now
         if skipped <= 0:
             return
+        if self.sanitizer is not None:
+            self.sanitizer.on_fast_forward(self, now, target)
         stats = self.stats
         stats.fast_forward_cycles += skipped
         stats.fast_forward_spans += 1
@@ -308,6 +312,7 @@ class OoOCore:
         committed = 0
         width = self.core_cfg.width
         rob, head = self._rob, self._rob_head
+        head0 = head
         blocked_by_engine = False
         while committed < width and head < len(rob):
             dyn = rob[head]
@@ -340,6 +345,8 @@ class OoOCore:
                 breakdown["memory"] += 1
             else:
                 breakdown["execute"] += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_commit(self, rob, head0, head)
         self._rob_head = head
         if head > 4096:  # compact the ROB list occasionally
             del rob[:head]
