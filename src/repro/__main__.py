@@ -16,6 +16,11 @@ Usage::
     python -m repro cache stats
     python -m repro cache clear
     python -m repro cache prune --keep-current
+    python -m repro cache prune --max-bytes 500000000
+    python -m repro sweep fig7 --backend cluster --workers 4
+    python -m repro cluster worker --connect 10.0.0.5:7077
+    python -m repro cluster status --connect 10.0.0.5:7077
+    python -m repro report --from-ledger ~/.cache/repro/runs.jsonl
 
 Experiment commands execute through the ``repro.jobs`` engine: results
 are cached on disk (``--cache-dir``, default ``~/.cache/repro``) keyed by
@@ -117,14 +122,20 @@ def cmd_cache(args):
         print(f"removed {removed} cached result(s)")
         return 0
     if action == "prune":
-        if not args.keep_current:
-            print("cache prune deletes stale generations; pass "
-                  "--keep-current to confirm (current salt is kept)",
+        if not args.keep_current and args.max_bytes is None:
+            print("cache prune needs a mode: --keep-current drops stale "
+                  "salt generations, --max-bytes N evicts oldest current-"
+                  "generation entries over the byte budget",
                   file=sys.stderr)
             return 2
-        removed = cache.prune()
-        print(f"pruned {removed} stale cached result(s); "
-              f"kept generation {cache.salt}")
+        if args.keep_current:
+            removed = cache.prune()
+            print(f"pruned {removed} stale cached result(s); "
+                  f"kept generation {cache.salt}")
+        if args.max_bytes is not None:
+            evicted = cache.prune_to_bytes(args.max_bytes)
+            print(f"evicted {evicted} oldest result(s) to fit generation "
+                  f"{cache.salt} in {args.max_bytes:,} bytes")
         return 0
     print(f"unknown cache action {action!r} (expected: stats, clear, prune)",
           file=sys.stderr)
@@ -182,6 +193,91 @@ def cmd_lint(args):
     return 0 if report.ok else 1
 
 
+def cmd_sweep(args):
+    """Run experiment sweeps through a chosen executor backend."""
+    name = args.workload
+    if not name:
+        print("sweep needs an experiment name, e.g. `repro sweep fig7 "
+              "--backend cluster --workers 2` (or `all`)", file=sys.stderr)
+        return 2
+    names = ["table1", "table2", "fig2", "fig7", "fig8", "fig9",
+             "fig10", "fig11", "fig12"] if name == "all" else [name]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(ALL_EXPERIMENTS))})",
+              file=sys.stderr)
+        return 2
+    scale = _scale_from_args(args)
+    for experiment_name in names:
+        experiment = ALL_EXPERIMENTS[experiment_name]
+        result = (experiment() if experiment_name == "table1"
+                  else experiment(scale))
+        print(result.render())
+        if len(names) > 1:
+            print()
+        _maybe_save(result, args)
+    return 0
+
+
+def cmd_cluster(args):
+    """`repro cluster {worker,status}`: join or inspect a coordinator."""
+    action = args.workload
+    if action == "worker":
+        if not args.connect:
+            print("cluster worker needs --connect HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        from .cluster import Worker
+        worker = Worker(args.connect, max_jobs=args.max_jobs,
+                        reconnect=args.reconnect)
+        return worker.serve()
+    if action == "status":
+        if not args.connect:
+            print("cluster status needs --connect HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        from .cluster import ProtocolError, query_status
+        try:
+            info = query_status(args.connect)
+        except (OSError, ProtocolError) as error:
+            print(f"cannot reach coordinator at {args.connect}: {error}",
+                  file=sys.stderr)
+            return 1
+        jobs_info = info.get("jobs", {})
+        print(f"coordinator  {info.get('address', args.connect)}")
+        print(f"jobs         {jobs_info.get('done', 0)}/"
+              f"{jobs_info.get('total', 0)} done, "
+              f"{jobs_info.get('running', 0)} running, "
+              f"{jobs_info.get('queued', 0)} queued, "
+              f"{jobs_info.get('failed', 0)} failed")
+        workers = info.get("workers", [])
+        print(f"workers      {len(workers)}")
+        for worker in workers:
+            print(f"  {worker.get('name')}: {worker.get('state')}, "
+                  f"{worker.get('jobs_done', 0)} job(s) done, seen "
+                  f"{worker.get('last_seen_s', 0.0):.1f}s ago")
+        return 0
+    print(f"unknown cluster action {action!r} (expected: worker, status)",
+          file=sys.stderr)
+    return 2
+
+
+def cmd_report(args):
+    """Render sweep summary tables from a run ledger (mid-flight ok)."""
+    from .harness.ledger_report import render_ledger_report, summarize_ledger
+    context = jobs.get_context()
+    path = args.from_ledger or context.ledger_path
+    if not os.path.exists(path):
+        print(f"no ledger at {path}", file=sys.stderr)
+        return 1
+    cache = context.cache
+    if isinstance(cache, jobs.NullCache):
+        cache = jobs.ResultCache(context.cache_dir)
+    print(render_ledger_report(summarize_ledger(path, cache=cache)))
+    return 0
+
+
 def cmd_run(args):
     config = SimConfig(max_instructions=args.instructions or 20_000,
                        fast_forward=not args.no_fast_forward,
@@ -215,11 +311,16 @@ def main(argv=None):
         description="Decoupled Vector Runahead reproduction harness")
     parser.add_argument("command",
                         choices=sorted(ALL_EXPERIMENTS) + ["all", "bench",
-                                                           "cache", "lint",
-                                                           "list", "run"])
+                                                           "cache",
+                                                           "cluster",
+                                                           "lint", "list",
+                                                           "report", "run",
+                                                           "sweep"])
     parser.add_argument("workload", nargs="?",
                         help="workload name (for `run`), cache action "
-                             "(for `cache`: stats, clear, prune), or a "
+                             "(for `cache`: stats, clear, prune), cluster "
+                             "action (for `cluster`: worker, status), "
+                             "experiment name (for `sweep`), or a "
                              "path to lint (for `lint`)")
     parser.add_argument("--technique", default="dvr",
                         choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
@@ -259,6 +360,29 @@ def main(argv=None):
     parser.add_argument("--keep-current", action="store_true",
                         help="confirm `cache prune`: drop stale salt "
                              "generations, keep the current one")
+    parser.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                        help="cache prune: evict oldest current-generation "
+                             "entries until the generation fits in N bytes")
+    parser.add_argument("--backend", choices=("local", "cluster"),
+                        default="local",
+                        help="executor backend for sweeps: `local` process "
+                             "pool (default) or `cluster` TCP workers")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="cluster backend: loopback worker processes "
+                             "to spawn (0 = wait for external workers)")
+    parser.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="cluster backend: coordinator bind address "
+                             "(port 0 = ephemeral)")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="cluster worker/status: coordinator address")
+    parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="cluster worker: exit after N jobs")
+    parser.add_argument("--reconnect", type=int, default=3, metavar="N",
+                        help="cluster worker: reconnection attempts after "
+                             "a lost coordinator connection")
+    parser.add_argument("--from-ledger", default=None, metavar="PATH",
+                        help="report: run ledger to summarize (default: "
+                             "the active cache dir's runs.jsonl)")
     parser.add_argument("--label", default="local",
                         help="bench report label (BENCH_<label>.json)")
     parser.add_argument("--profile", action="store_true",
@@ -280,23 +404,35 @@ def main(argv=None):
         jobs=args.jobs if args.jobs is not None else env.jobs,
         cache_dir=args.cache_dir or env.cache_dir,
         no_cache=args.no_cache or env.no_cache,
-        timeout=args.job_timeout)
+        timeout=args.job_timeout,
+        backend=args.backend,
+        cluster={"bind": args.bind, "workers": args.workers})
 
-    if args.command == "list":
-        return cmd_list(args)
-    if args.command == "all":
-        return cmd_all(args)
-    if args.command == "bench":
-        return cmd_bench(args)
-    if args.command == "cache":
-        return cmd_cache(args)
-    if args.command == "lint":
-        return cmd_lint(args)
-    if args.command == "run":
-        if not args.workload:
-            parser.error("`run` needs a workload name")
-        return cmd_run(args)
-    return cmd_experiment(args)
+    try:
+        if args.command == "list":
+            return cmd_list(args)
+        if args.command == "all":
+            return cmd_all(args)
+        if args.command == "bench":
+            return cmd_bench(args)
+        if args.command == "cache":
+            return cmd_cache(args)
+        if args.command == "cluster":
+            return cmd_cluster(args)
+        if args.command == "lint":
+            return cmd_lint(args)
+        if args.command == "report":
+            return cmd_report(args)
+        if args.command == "sweep":
+            return cmd_sweep(args)
+        if args.command == "run":
+            if not args.workload:
+                parser.error("`run` needs a workload name")
+            return cmd_run(args)
+        return cmd_experiment(args)
+    finally:
+        # Drain cluster workers / stop the coordinator, if one was started.
+        jobs.close_context()
 
 
 if __name__ == "__main__":

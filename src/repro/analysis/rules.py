@@ -18,8 +18,8 @@ Rule catalogue
 ``nondet-time``        wall-clock reads (``time.time`` & friends) inside
                        simulation modules, where they could leak into cycle
                        arithmetic.  Infrastructure packages (jobs, bench,
-                       analysis, the CLI) legitimately measure wall time and
-                       are exempt.
+                       analysis, cluster, the CLI) legitimately measure wall
+                       time and are exempt.
 ``nondet-set-iter``    ``for``-loop / comprehension iteration over a ``set``
                        expression or a local bound to one, and ``.pop()`` on
                        such a set: element order is hash-order.  Membership
@@ -65,7 +65,8 @@ _GLOBAL_NP_RANDOM_FUNCS = frozenset({
 #: Path prefixes (relative to the package root, "/"-separated) where
 #: wall-clock reads are legitimate: infrastructure that measures host
 #: time, never simulated time.
-TIME_EXEMPT_PREFIXES = ("jobs/", "bench/", "analysis/", "__main__")
+TIME_EXEMPT_PREFIXES = ("jobs/", "bench/", "analysis/", "cluster/",
+                        "__main__")
 
 #: Base classes that mark a class as a runahead engine for the
 #: quiescence-contract rule, plus a naming convention fallback.

@@ -1,0 +1,40 @@
+"""Distributed sweep execution over a TCP worker protocol.
+
+``repro.cluster`` scales the ``repro.jobs`` execution engine past one
+machine: a :class:`Coordinator` leases content-addressed ``JobSpec``s to
+workers over a length-prefixed JSON-over-TCP protocol
+(:mod:`.protocol`), with heartbeat liveness, per-job lease timeouts,
+bounded exponential-backoff reassignment, and code-salt verification at
+handshake.  Workers are plain ``repro cluster worker --connect
+HOST:PORT`` processes -- loopback subprocesses for tests and CI, remote
+hosts for full-scale sweeps.  :class:`ClusterExecutor` plugs the whole
+thing in behind the same ``Executor.run(specs)`` contract the local
+process pool implements, and the ledger-learned :class:`CostModel`
+orders dispatch longest-expected-first for both backends.
+"""
+
+from .coordinator import ClusterError, Coordinator, WorkerHandle
+from .costmodel import CostModel
+from .executor import ClusterExecutor
+from .protocol import (Connection, MAX_MESSAGE_BYTES, PROTOCOL_VERSION,
+                       ProtocolError, parse_address, query_status)
+from .scheduler import cost_model_for, longest_first
+from .worker import Worker, WorkerRejected
+
+__all__ = [
+    "ClusterError",
+    "ClusterExecutor",
+    "Connection",
+    "Coordinator",
+    "CostModel",
+    "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Worker",
+    "WorkerHandle",
+    "WorkerRejected",
+    "cost_model_for",
+    "longest_first",
+    "parse_address",
+    "query_status",
+]

@@ -1,0 +1,447 @@
+"""Cluster coordinator: worker registry, job leases, fault tolerance.
+
+The coordinator owns the TCP listening socket.  Workers dial in (local
+subprocesses spawned by :meth:`Coordinator.spawn_local_workers`, or
+remote hosts running ``repro cluster worker --connect``), handshake with
+their code salt -- a worker built from a different source tree is
+rejected, so it can never serve results the cache would mis-attribute --
+and then hold at most one *lease* at a time.
+
+Fault model (see DESIGN.md for the full matrix):
+
+* worker crash / SIGKILL mid-job: the reader thread sees EOF, the lease
+  is reassigned to another worker after a bounded exponential backoff;
+* network partition (no FIN): the worker misses heartbeats, the
+  coordinator declares it dead after ``heartbeat_timeout`` and reassigns;
+* stuck job: the lease's ``job_timeout`` deadline expires, the worker is
+  disconnected and the job reassigned;
+* job exception on a healthy worker: ``RESULT {ok: false}`` comes back
+  and the job is requeued (the worker stays in the pool);
+* all workers gone: after ``worker_grace`` seconds with an empty
+  registry the remaining jobs are reported as failures so the executor
+  can fall back to running them in the parent process.
+
+A job that fails ``max_attempts`` times is handed back as failed rather
+than retried forever.  Results are streamed to the caller via a callback
+on the *coordinator's* thread, so the run ledger and result cache stay
+single-writer.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from .protocol import (Connection, DRAIN, GOODBYE, HEARTBEAT, HELLO, JOB,
+                       PROTOCOL_VERSION, ProtocolError, REJECT, RESULT,
+                       STATUS, STATUS_REPLY, WELCOME)
+
+
+class ClusterError(RuntimeError):
+    """Cluster-level failure (no workers, bad bind, handshake trouble)."""
+
+
+class WorkerHandle:
+    """Coordinator-side state for one connected worker."""
+
+    def __init__(self, connection, name, host=None, pid=None):
+        self.connection = connection
+        self.name = name
+        self.host = host
+        self.pid = pid
+        self.last_seen = time.monotonic()
+        self.alive = True
+        self.killing = False         # close() issued, death event pending
+        self.job = None              # leased _Job, or None when idle
+        self.deadline = None         # monotonic lease expiry, or None
+        self.done = 0
+
+    @property
+    def label(self):
+        return self.name or self.connection.peer
+
+
+class _Job:
+    """Scheduling record for one spec inside ``execute``."""
+
+    __slots__ = ("spec", "attempts", "not_before", "last_error")
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.attempts = 0            # completed lease attempts that failed
+        self.not_before = 0.0        # backoff gate (monotonic seconds)
+        self.last_error = None
+
+    @property
+    def key(self):
+        return self.spec.key
+
+
+class Coordinator:
+    """Accepts workers, leases jobs, reassigns on failure."""
+
+    def __init__(self, host="127.0.0.1", port=0, *, job_timeout=None,
+                 heartbeat_timeout=15.0, retry_base=0.25, retry_cap=5.0,
+                 max_attempts=3, worker_grace=60.0, poll_interval=0.05):
+        self.host = host
+        self.port = port
+        self.job_timeout = job_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.max_attempts = max(1, int(max_attempts))
+        self.worker_grace = worker_grace
+        self.poll_interval = poll_interval
+        self._events = queue.Queue()
+        self._lock = threading.Lock()
+        self._workers = []
+        self._spawned = []
+        self._server = None
+        self._accept_thread = None
+        self._closing = False
+        self._progress = {"total": 0, "done": 0, "failed": 0, "running": 0,
+                          "queued": 0}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self):
+        return f"{self.host}:{self.port}"
+
+    def start(self):
+        """Bind + listen; returns the (host, port) actually bound."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((self.host, self.port))
+        except OSError as error:
+            server.close()
+            raise ClusterError(
+                f"cannot bind coordinator to {self.address}: {error}"
+            ) from error
+        server.listen(64)
+        self.port = server.getsockname()[1]
+        self._server = server
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="cluster-accept", daemon=True)
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def close(self):
+        """Drain workers, stop the server, reap spawned subprocesses."""
+        if self._closing:
+            return
+        self._closing = True
+        self.drain()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        for process in self._spawned:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.terminate()
+                try:
+                    process.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+        self._spawned = []
+        with self._lock:
+            workers = list(self._workers)
+            self._workers = []
+        for worker in workers:
+            worker.connection.close()
+
+    def drain(self):
+        """Ask every connected worker to finish its job and exit."""
+        with self._lock:
+            workers = [w for w in self._workers if w.alive]
+        for worker in workers:
+            try:
+                worker.connection.send(DRAIN)
+            except OSError:
+                pass
+
+    # -- worker management ---------------------------------------------
+    def spawn_local_workers(self, count, extra_args=()):
+        """Start ``count`` loopback worker subprocesses; returns Popens."""
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = package_root + (
+                os.pathsep + existing if existing else "")
+        command = [sys.executable, "-m", "repro", "cluster", "worker",
+                   "--connect", f"{self.host}:{self.port}"]
+        command.extend(extra_args)
+        processes = [subprocess.Popen(command, env=env)
+                     for _ in range(count)]
+        self._spawned.extend(processes)
+        return processes
+
+    def live_workers(self):
+        with self._lock:
+            return [w for w in self._workers if w.alive]
+
+    def wait_for_workers(self, count, timeout=60.0):
+        """Block until ``count`` workers are registered (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            live = len(self.live_workers())
+            if live >= count:
+                return live
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"only {live} of {count} worker(s) connected to "
+                    f"{self.address} within {timeout:.0f}s")
+            time.sleep(0.02)
+
+    # -- accept / reader threads ---------------------------------------
+    def _accept_loop(self):
+        while not self._closing:
+            try:
+                sock, _addr = self._server.accept()
+            except OSError:
+                return                     # server socket closed
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(sock,), daemon=True)
+            thread.start()
+
+    def _serve_connection(self, sock):
+        connection = Connection(sock)
+        try:
+            sock.settimeout(10.0)
+            message = connection.recv()
+            sock.settimeout(None)
+        except (OSError, ProtocolError):
+            connection.close()
+            return
+        if message is None:
+            connection.close()
+            return
+        kind = message.get("type")
+        if kind == STATUS:
+            try:
+                connection.send(STATUS_REPLY, **self.status())
+            except OSError:
+                pass
+            connection.close()
+            return
+        if kind != HELLO:
+            connection.close()
+            return
+        self._register_worker(connection, message)
+
+    def _expected_salt(self):
+        from ..jobs.cache import code_salt
+        return code_salt()
+
+    def _register_worker(self, connection, hello):
+        expected = self._expected_salt()
+        offered = hello.get("salt")
+        if hello.get("version") != PROTOCOL_VERSION:
+            reason = (f"protocol version mismatch (coordinator "
+                      f"{PROTOCOL_VERSION}, worker {hello.get('version')})")
+        elif offered != expected:
+            reason = (f"code salt mismatch (coordinator {expected}, worker "
+                      f"{offered}): update the worker's source tree")
+        else:
+            reason = None
+        if reason is not None:
+            print(f"[cluster] rejecting worker "
+                  f"{hello.get('worker')}: {reason}", file=sys.stderr)
+            try:
+                connection.send(REJECT, reason=reason)
+            except OSError:
+                pass
+            connection.close()
+            return
+        worker = WorkerHandle(connection, name=hello.get("worker"),
+                              host=hello.get("host"), pid=hello.get("pid"))
+        with self._lock:
+            self._workers.append(worker)
+        try:
+            connection.send(WELCOME, coordinator=self.address,
+                            version=PROTOCOL_VERSION)
+        except OSError:
+            self._events.put(("dead", worker, "welcome send failed"))
+            return
+        self._events.put(("join", worker, None))
+        self._reader_loop(worker)
+
+    def _reader_loop(self, worker):
+        connection = worker.connection
+        while True:
+            try:
+                message = connection.recv()
+            except (OSError, ProtocolError) as error:
+                self._events.put(("dead", worker, repr(error)))
+                return
+            if message is None:
+                self._events.put(("dead", worker, "connection closed"))
+                return
+            kind = message.get("type")
+            worker.last_seen = time.monotonic()
+            if kind == RESULT:
+                self._events.put(("result", worker, message))
+            elif kind == GOODBYE:
+                self._events.put(
+                    ("left", worker, message.get("reason", "goodbye")))
+                return
+            # HEARTBEAT (and unknown types) only refresh last_seen.
+
+    # -- scheduling ----------------------------------------------------
+    def execute(self, specs, on_result):
+        """Run ``specs`` (already deduplicated, in dispatch-priority order).
+
+        ``on_result(spec, metrics, worker=..., retries=..., wall_s=...)``
+        is invoked on this thread as each job completes.  Returns a dict
+        ``key -> (spec, error, attempts)`` for jobs that exhausted their
+        retry budget or ran out of workers.
+        """
+        from ..harness.metrics import Metrics
+        jobs = [_Job(spec) for spec in specs]
+        by_key = {job.key: job for job in jobs}
+        ready = list(jobs)
+        completed = set()
+        failed = {}
+        self._progress.update(total=len(jobs), done=0, failed=0)
+        last_live = time.monotonic()
+
+        def settle(job, error, now):
+            """A lease attempt failed: back off + requeue, or give up."""
+            job.attempts += 1
+            job.last_error = error
+            if job.attempts >= self.max_attempts:
+                failed[job.key] = (job.spec, error, job.attempts)
+            else:
+                backoff = min(self.retry_cap,
+                              self.retry_base * (2 ** (job.attempts - 1)))
+                job.not_before = now + backoff
+                ready.append(job)
+
+        while len(completed) + len(failed) < len(jobs):
+            now = time.monotonic()
+            for worker, reason in self._expired_workers(now):
+                worker.killing = True
+                worker.connection.close()   # reader thread emits "dead"
+                print(f"[cluster] disconnecting worker {worker.label}: "
+                      f"{reason}", file=sys.stderr)
+            self._dispatch(ready, now)
+            self._progress.update(
+                done=len(completed), failed=len(failed),
+                running=sum(1 for j in jobs
+                            if j.key not in completed
+                            and j.key not in failed) - len(ready),
+                queued=len(ready))
+            if self.live_workers():
+                last_live = now
+            elif ready and now - last_live > self.worker_grace:
+                for job in ready:
+                    failed[job.key] = (
+                        job.spec,
+                        f"no live workers for {self.worker_grace:.0f}s",
+                        job.attempts)
+                ready.clear()
+                continue
+            try:
+                kind, worker, payload = self._events.get(
+                    timeout=self.poll_interval)
+            except queue.Empty:
+                continue
+            if kind == "join":
+                continue
+            if kind == "result":
+                job = worker.job
+                worker.job = None
+                worker.deadline = None
+                worker.done += 1
+                key = payload.get("job_id")
+                if job is None or job.key != key or key in completed \
+                        or key in failed or key not in by_key:
+                    continue               # stale result from a prior run
+                if payload.get("ok"):
+                    completed.add(key)
+                    on_result(job.spec,
+                              Metrics.from_dict(payload["metrics"]),
+                              worker=worker.label, retries=job.attempts,
+                              wall_s=payload.get("wall_s", 0.0))
+                else:
+                    settle(job, payload.get("error", "worker error"),
+                           time.monotonic())
+            elif kind in ("dead", "left"):
+                with self._lock:
+                    worker.alive = False
+                    if worker in self._workers:
+                        self._workers.remove(worker)
+                worker.connection.close()
+                job = worker.job
+                worker.job = None
+                worker.deadline = None
+                if job is not None and job.key not in completed \
+                        and job.key not in failed and job.key in by_key:
+                    settle(job, f"worker {worker.label} {kind}: {payload}",
+                           time.monotonic())
+        self._progress.update(done=len(completed), failed=len(failed),
+                              running=0, queued=0)
+        return failed
+
+    def _expired_workers(self, now):
+        expired = []
+        with self._lock:
+            workers = [w for w in self._workers if w.alive and not w.killing]
+        for worker in workers:
+            if worker.deadline is not None and now > worker.deadline:
+                expired.append((worker, "job lease timed out"))
+            elif now - worker.last_seen > self.heartbeat_timeout:
+                expired.append((worker, "heartbeat timeout"))
+        return expired
+
+    def _dispatch(self, ready, now):
+        """Lease the highest-priority eligible job to each idle worker."""
+        for worker in self.live_workers():
+            if worker.job is not None or worker.killing:
+                continue
+            job = None
+            for candidate in ready:
+                if candidate.not_before <= now:
+                    job = candidate
+                    break
+            if job is None:
+                return
+            try:
+                worker.connection.send(JOB, job_id=job.key,
+                                       spec=job.spec.to_dict())
+            except OSError as error:
+                worker.killing = True
+                worker.connection.close()
+                self._events.put(("dead", worker, f"send failed: {error}"))
+                continue
+            ready.remove(job)
+            worker.job = job
+            worker.deadline = (now + self.job_timeout
+                               if self.job_timeout else None)
+
+    # -- introspection -------------------------------------------------
+    def status(self):
+        now = time.monotonic()
+        with self._lock:
+            workers = [{
+                "name": worker.label,
+                "host": worker.host,
+                "pid": worker.pid,
+                "state": "busy" if worker.job is not None else "idle",
+                "jobs_done": worker.done,
+                "last_seen_s": round(now - worker.last_seen, 3),
+            } for worker in self._workers if worker.alive]
+        return {"address": self.address,
+                "workers": workers,
+                "jobs": dict(self._progress)}

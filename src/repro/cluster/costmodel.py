@@ -1,0 +1,83 @@
+"""Ledger-learned per-spec wall-time model for sweep scheduling.
+
+Historical run-ledger records carry the wall time, workload, technique,
+graph parameter and instruction budget of every executed job.  The model
+learns a *seconds-per-instruction rate* at three levels of specificity::
+
+    (workload, graph, technique)   exact point measured before
+    (technique,)                   same engine, different workload/input
+    ()                             global mean over everything observed
+
+and predicts ``rate * max_instructions`` for a new spec using the most
+specific level with data.  Rates (rather than raw wall times) transfer
+across instruction budgets, so a smoke-scale ledger still orders a
+full-scale sweep sensibly.  With no history at all every spec gets the
+same default cost and scheduling degrades to the enumeration order.
+"""
+
+from __future__ import annotations
+
+
+class CostModel:
+    """Predicts wall-clock seconds for a :class:`JobSpec`."""
+
+    #: Cost assigned when no ledger history matches at any level.
+    DEFAULT_COST = 1.0
+
+    def __init__(self):
+        self._sums = {}              # feature key -> summed rate
+        self._counts = {}            # feature key -> observation count
+
+    def __len__(self):
+        """Number of distinct exact (workload, graph, technique) points."""
+        return sum(1 for key in self._counts if len(key) == 3)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _keys(workload, graph, technique):
+        return ((workload, graph, technique), (technique,), ())
+
+    def observe(self, workload, graph, technique, rate):
+        """Fold one seconds-per-instruction observation into the model."""
+        for key in self._keys(workload, graph, technique):
+            self._sums[key] = self._sums.get(key, 0.0) + rate
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    @classmethod
+    def from_records(cls, records):
+        """Build a model from run-ledger record dicts.
+
+        Only executed records count -- cache hits measure lookup time,
+        not simulation time -- and records from ledgers predating the
+        ``max_instructions`` field are skipped.
+        """
+        model = cls()
+        for record in records:
+            if record.get("cache") not in ("miss", "off"):
+                continue
+            if record.get("status") == "failed":
+                continue
+            wall_s = record.get("wall_s")
+            instructions = record.get("max_instructions")
+            if not wall_s or not instructions:
+                continue
+            params = record.get("params") or {}
+            model.observe(record.get("workload"), params.get("graph"),
+                          record.get("technique"), wall_s / instructions)
+        return model
+
+    @classmethod
+    def from_ledger(cls, path):
+        from ..jobs.ledger import RunLedger
+        return cls.from_records(RunLedger.read(path))
+
+    # ------------------------------------------------------------------
+    def predict(self, spec):
+        """Expected wall seconds for ``spec`` (most specific level wins)."""
+        instructions = getattr(spec.config, "max_instructions", 0) or 0
+        for key in self._keys(spec.workload, spec.params.get("graph"),
+                              spec.technique):
+            count = self._counts.get(key)
+            if count:
+                return (self._sums[key] / count) * instructions
+        return self.DEFAULT_COST

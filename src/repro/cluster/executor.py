@@ -1,0 +1,53 @@
+"""Distributed executor backend: same contract, remote workers.
+
+:class:`ClusterExecutor` satisfies the exact ``Executor.run(specs) ->
+[Metrics]`` contract of the local backend -- deduplication, cache
+lookups, ledger records, progress line, input-order results -- but
+executes the cache misses by leasing them to a :class:`Coordinator`'s
+workers instead of a local process pool.  Because results are streamed
+back on the coordinator's thread and written to the cache/ledger here,
+the parent's JSONL ledger and :class:`ResultCache` remain the single
+source of truth: workers never touch disk state.
+
+Jobs the cluster gives up on (retry budget exhausted, no workers left)
+fall back to one in-parent attempt, the same last-resort path the local
+pool uses, so a sweep degrades to serial execution rather than failing.
+"""
+
+from __future__ import annotations
+
+from ..jobs.executor import Executor
+
+
+class ClusterExecutor(Executor):
+    """Run JobSpecs: dedup -> cache -> cluster workers -> ledger."""
+
+    def __init__(self, coordinator, cache=None, ledger=None, timeout=None,
+                 progress=None, cost_model=None):
+        super().__init__(jobs=1, cache=cache, ledger=ledger, timeout=timeout,
+                         progress=progress, cost_model=cost_model)
+        self.coordinator = coordinator
+        if self.coordinator.job_timeout is None:
+            self.coordinator.job_timeout = timeout
+
+    def _run_pending(self, pending, unique, results, cached):
+        def finish(spec, metrics, *, worker, retries, wall_s):
+            self._finish_job(spec, metrics, unique, results, cached,
+                             wall_s=wall_s, worker=worker,
+                             status="ok" if retries == 0 else "retried",
+                             retries=retries)
+
+        failed = self.coordinator.execute(self._schedule(pending), finish)
+        # Last resort, in input order for determinism: one in-parent
+        # attempt per given-up job, mirroring the local backend's retry.
+        for spec in pending:
+            failure = failed.get(spec.key)
+            if failure is None:
+                continue
+            _spec, error, attempts = failure
+            metrics, wall_s = self._retry_in_parent(
+                spec, RuntimeError(f"cluster gave up after {attempts} "
+                                   f"attempt(s): {error}"))
+            self._finish_job(spec, metrics, unique, results, cached,
+                             wall_s=wall_s, worker="parent",
+                             status="retried", retries=attempts + 1)

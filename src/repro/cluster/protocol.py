@@ -1,0 +1,160 @@
+"""Length-prefixed JSON-over-TCP framing for the cluster protocol.
+
+Every message on the wire is one *frame*: a 4-byte big-endian length
+header followed by that many bytes of UTF-8 JSON.  A message is a JSON
+object whose ``type`` field names one of the constants below; all other
+fields are message-specific.  The framing is symmetric -- coordinator
+and workers use the same :class:`Connection` wrapper -- and
+version-checked at handshake time (``HELLO`` carries
+``PROTOCOL_VERSION`` plus the sender's code salt, so a worker running a
+different source tree is rejected before it can serve stale results).
+
+Message flow::
+
+    worker                         coordinator
+      | -- HELLO {worker,salt,..} --> |        register (or REJECT)
+      | <-- WELCOME ----------------- |
+      | -- HEARTBEAT (periodic) ----> |        liveness
+      | <-- JOB {job_id, spec} ------ |        lease
+      | -- RESULT {job_id, ok, ..} -> |        lease complete
+      | <-- DRAIN ------------------- |        finish + exit
+      | -- GOODBYE -----------------> |
+
+    status client                  coordinator
+      | -- STATUS ------------------> |
+      | <-- STATUS_REPLY {...} ------ |
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame; a Metrics payload is a few KB, so anything
+#: near this is a corrupt or hostile stream, not a big result.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# -- message types ----------------------------------------------------------
+HELLO = "hello"              # worker -> coordinator: join the registry
+WELCOME = "welcome"          # coordinator -> worker: registered
+REJECT = "reject"            # coordinator -> worker: refused (salt/version)
+JOB = "job"                  # coordinator -> worker: run this JobSpec
+RESULT = "result"            # worker -> coordinator: metrics or error
+HEARTBEAT = "heartbeat"      # worker -> coordinator: still alive
+DRAIN = "drain"              # coordinator -> worker: finish + exit
+GOODBYE = "goodbye"          # worker -> coordinator: clean departure
+STATUS = "status"            # client -> coordinator: registry snapshot?
+STATUS_REPLY = "status-reply"
+
+
+class ProtocolError(RuntimeError):
+    """Framing violation: truncated frame, oversized frame, bad JSON."""
+
+
+def parse_address(address):
+    """``"host:port"`` -> ``(host, port)``; bare ``":port"`` means loopback."""
+    if isinstance(address, (tuple, list)):
+        host, port = address
+        return host, int(port)
+    host, sep, port = str(address).rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"address must look like HOST:PORT, got {address!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def encode(message):
+    """One wire frame (header + JSON payload) for ``message``."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(payload)} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _recv_exactly(sock, count, *, at_boundary):
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock, message):
+    sock.sendall(encode(message))
+
+
+def recv_message(sock):
+    """Next message from ``sock``; ``None`` on clean EOF between frames."""
+    header = _recv_exactly(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_MESSAGE_BYTES}-byte limit")
+    payload = _recv_exactly(sock, length, at_boundary=False)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+
+
+class Connection:
+    """A socket plus a send lock (heartbeat threads share the socket)."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        try:
+            self.peer = "%s:%d" % sock.getpeername()[:2]
+        except OSError:
+            self.peer = "?"
+
+    def send(self, message_type, **fields):
+        message = {"type": message_type}
+        message.update(fields)
+        with self._send_lock:
+            send_message(self.sock, message)
+
+    def recv(self):
+        return recv_message(self.sock)
+
+    def close(self):
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def query_status(address, timeout=5.0):
+    """One-shot status query against a running coordinator."""
+    sock = socket.create_connection(parse_address(address), timeout=timeout)
+    try:
+        connection = Connection(sock)
+        connection.send(STATUS)
+        reply = connection.recv()
+    finally:
+        sock.close()
+    if reply is None or reply.get("type") != STATUS_REPLY:
+        raise ProtocolError(f"unexpected status reply: {reply!r}")
+    reply.pop("type", None)
+    return reply

@@ -1,0 +1,41 @@
+"""Dispatch-order policy: longest-expected-job-first.
+
+Sweep tail latency is dominated by whichever long job starts last; with
+per-job costs known (even approximately), dispatching the longest
+expected jobs first is the classic LPT heuristic and keeps every backend
+busy until the end.  Both executors use this: the local process pool
+reorders its submission queue, and the cluster coordinator leases jobs
+to idle workers in this order.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def longest_first(specs, cost_model):
+    """``specs`` reordered longest-expected-first.
+
+    The sort is stable with the original position as tie-break, so specs
+    the model can't tell apart (including the no-history case, where all
+    costs are the default) keep their enumeration order and scheduling
+    stays deterministic.
+    """
+    if cost_model is None or not len(cost_model):
+        return list(specs)
+    indexed = list(enumerate(specs))
+    indexed.sort(key=lambda pair: (-cost_model.predict(pair[1]), pair[0]))
+    return [spec for _position, spec in indexed]
+
+
+def cost_model_for(ledger):
+    """A :class:`CostModel` learned from an executor's ledger, if any.
+
+    ``NullLedger`` (no path) or a ledger file that does not exist yet
+    yields ``None``: scheduling falls back to enumeration order.
+    """
+    from .costmodel import CostModel
+    path = getattr(ledger, "path", None)
+    if not path or not os.path.exists(path):
+        return None
+    return CostModel.from_ledger(path)

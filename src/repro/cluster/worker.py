@@ -1,0 +1,151 @@
+"""Cluster worker: dial a coordinator, run leased jobs, stream results.
+
+A worker owns no cache and no ledger -- it connects to the coordinator
+(``repro cluster worker --connect HOST:PORT``), authenticates its source
+tree via the code salt, then loops: receive a ``JOB`` frame, simulate it
+with :func:`repro.harness.runner.run_spec`, send the ``RESULT`` back.
+A daemon thread heartbeats while a simulation runs (CPython's preemptive
+thread switching guarantees it gets scheduled), so the coordinator can
+tell a busy worker from a dead one.
+
+Job exceptions are reported as ``RESULT {ok: false}`` and never kill the
+worker; a lost connection triggers bounded reconnect attempts
+(``--reconnect N``), which is also how a drained worker rejoins a new
+sweep on the same coordinator address.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+
+from .protocol import (Connection, DRAIN, GOODBYE, HEARTBEAT, HELLO, JOB,
+                       PROTOCOL_VERSION, ProtocolError, REJECT, RESULT,
+                       WELCOME, parse_address)
+
+
+class WorkerRejected(RuntimeError):
+    """The coordinator refused the handshake (salt/version mismatch)."""
+
+
+def _default_run_job(spec):
+    from ..harness.runner import run_spec
+    return run_spec(spec)
+
+
+class Worker:
+    """One worker loop; ``serve()`` blocks until drained or disconnected."""
+
+    def __init__(self, address, worker_id=None, max_jobs=None, reconnect=0,
+                 reconnect_delay=0.5, heartbeat_interval=2.0, run_job=None,
+                 salt=None, quiet=None):
+        self.host, self.port = parse_address(address)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.max_jobs = max_jobs
+        self.reconnect = max(0, int(reconnect))
+        self.reconnect_delay = reconnect_delay
+        self.heartbeat_interval = heartbeat_interval
+        self._run_job = run_job or _default_run_job
+        self._salt = salt            # tests override; None = real code_salt()
+        if quiet is None:
+            quiet = os.environ.get("REPRO_PROGRESS", "") == "0"
+        self.quiet = quiet
+        self.jobs_done = 0
+
+    # ------------------------------------------------------------------
+    def _log(self, text):
+        if not self.quiet:
+            print(f"[worker {self.worker_id}] {text}", file=sys.stderr,
+                  flush=True)
+
+    def _code_salt(self):
+        if self._salt is not None:
+            return self._salt
+        from ..jobs.cache import code_salt
+        return code_salt()
+
+    # ------------------------------------------------------------------
+    def serve(self):
+        """Run until drained (0), rejected (2), or connection lost (1)."""
+        attempts = self.reconnect
+        while True:
+            try:
+                return self._serve_once()
+            except WorkerRejected as error:
+                self._log(f"rejected by coordinator: {error}")
+                return 2
+            except (OSError, ProtocolError) as error:
+                if attempts <= 0:
+                    self._log(f"connection lost: {error}")
+                    return 1
+                attempts -= 1
+                self._log(f"reconnecting after error ({error}); "
+                          f"{attempts} attempt(s) left")
+                time.sleep(self.reconnect_delay)
+
+    def _serve_once(self):
+        sock = socket.create_connection((self.host, self.port), timeout=10)
+        sock.settimeout(None)
+        connection = Connection(sock)
+        connection.send(HELLO, worker=self.worker_id,
+                        host=socket.gethostname(), pid=os.getpid(),
+                        salt=self._code_salt(), version=PROTOCOL_VERSION)
+        reply = connection.recv()
+        if reply is None:
+            raise ProtocolError("coordinator closed during handshake")
+        if reply.get("type") == REJECT:
+            raise WorkerRejected(reply.get("reason", "no reason given"))
+        if reply.get("type") != WELCOME:
+            raise ProtocolError(f"expected welcome, got {reply.get('type')!r}")
+        self._log(f"connected to {self.host}:{self.port}")
+        stop = threading.Event()
+        beat = threading.Thread(target=self._heartbeat_loop,
+                                args=(connection, stop), daemon=True)
+        beat.start()
+        try:
+            while True:
+                message = connection.recv()
+                if message is None:
+                    raise ProtocolError("coordinator closed the connection")
+                kind = message.get("type")
+                if kind == JOB:
+                    self._run_one(connection, message)
+                    self.jobs_done += 1
+                    if self.max_jobs is not None \
+                            and self.jobs_done >= self.max_jobs:
+                        connection.send(GOODBYE, reason="max-jobs")
+                        self._log(f"served {self.jobs_done} job(s); leaving")
+                        return 0
+                elif kind == DRAIN:
+                    connection.send(GOODBYE, reason="drained")
+                    self._log("drained")
+                    return 0
+                # Unknown frame types are ignored for forward compatibility.
+        finally:
+            stop.set()
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self, connection, stop):
+        while not stop.wait(self.heartbeat_interval):
+            try:
+                connection.send(HEARTBEAT, jobs_done=self.jobs_done)
+            except OSError:
+                return
+
+    def _run_one(self, connection, message):
+        from ..jobs.spec import JobSpec
+        start = time.perf_counter()
+        try:
+            metrics = self._run_job(JobSpec.from_dict(message["spec"]))
+            connection.send(RESULT, job_id=message.get("job_id"), ok=True,
+                            metrics=metrics.to_dict(),
+                            wall_s=time.perf_counter() - start)
+        except Exception as error:
+            # The job failed, not the worker: report and stay available.
+            connection.send(RESULT, job_id=message.get("job_id"), ok=False,
+                            error=repr(error),
+                            wall_s=time.perf_counter() - start)

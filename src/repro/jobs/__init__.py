@@ -10,8 +10,8 @@ returned metrics.
 """
 
 from .cache import NullCache, ResultCache, code_salt, default_cache_dir
-from .context import (ExecutionContext, configure, get_context, run_specs,
-                      set_context)
+from .context import (ExecutionContext, close_context, configure,
+                      get_context, run_specs, set_context)
 from .executor import Executor, JobError, ProgressLine
 from .ledger import NullLedger, RunLedger
 from .spec import JobSpec
@@ -26,6 +26,7 @@ __all__ = [
     "ProgressLine",
     "ResultCache",
     "RunLedger",
+    "close_context",
     "code_salt",
     "configure",
     "default_cache_dir",

@@ -138,6 +138,40 @@ class ResultCache:
                 os.rmdir(dirpath)
         return removed
 
+    def prune_to_bytes(self, max_bytes):
+        """Evict oldest-mtime entries of the *current* generation until it
+        fits in ``max_bytes``.  Returns the number of entries removed.
+
+        Stale generations are the business of :meth:`prune`; the size
+        budget applies to results the current build could still reuse,
+        trading the least-recently-written ones for disk space.
+        """
+        if not os.path.isdir(self.results_dir):
+            return 0
+        entries = []
+        for name in sorted(os.listdir(self.results_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.results_dir, name)
+            try:
+                stat = os.stat(path)
+            except FileNotFoundError:      # concurrent eviction
+                continue
+            entries.append((stat.st_mtime, name, path, stat.st_size))
+        entries.sort()                     # oldest first, name tie-break
+        total = sum(size for _mtime, _name, _path, size in entries)
+        removed = 0
+        for _mtime, _name, path, size in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
     def clear(self):
         """Delete every cached result (all generations). Returns count."""
         results_root = os.path.join(self.cache_dir, "results")

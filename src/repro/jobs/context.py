@@ -22,7 +22,7 @@ class ExecutionContext:
     """Everything an :class:`Executor` needs, built once per process."""
 
     def __init__(self, jobs=1, cache_dir=None, no_cache=False, timeout=None,
-                 ledger_path=None):
+                 ledger_path=None, backend="local", cluster=None):
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir or default_cache_dir()
         self.no_cache = bool(no_cache)
@@ -34,10 +34,59 @@ class ExecutionContext:
         self.ledger_path = ledger_path
         self.ledger = (RunLedger(ledger_path) if ledger_path
                        else NullLedger())
+        if backend not in ("local", "cluster"):
+            raise ValueError(f"unknown executor backend {backend!r} "
+                             f"(expected 'local' or 'cluster')")
+        self.backend = backend
+        #: Cluster options: ``bind`` ("HOST:PORT", port 0 = ephemeral),
+        #: ``workers`` (loopback subprocesses to spawn; 0 = wait for
+        #: external ``repro cluster worker --connect`` processes),
+        #: ``connect_timeout`` (seconds to wait for the first worker).
+        self.cluster_options = dict(cluster or {})
+        self._coordinator = None
 
     def executor(self):
+        if self.backend == "cluster":
+            from ..cluster import ClusterExecutor
+            return ClusterExecutor(self._ensure_coordinator(),
+                                   cache=self.cache, ledger=self.ledger,
+                                   timeout=self.timeout)
         return Executor(jobs=self.jobs, cache=self.cache, ledger=self.ledger,
                         timeout=self.timeout)
+
+    def _ensure_coordinator(self):
+        """Start the coordinator (and loopback workers) on first use."""
+        if self._coordinator is None:
+            import sys
+
+            from ..cluster import Coordinator
+            from ..cluster.protocol import parse_address
+            host, port = parse_address(
+                self.cluster_options.get("bind") or "127.0.0.1:0")
+            coordinator = Coordinator(host=host, port=port,
+                                      job_timeout=self.timeout)
+            coordinator.start()
+            workers = int(self.cluster_options.get("workers", 0))
+            if workers:
+                coordinator.spawn_local_workers(workers)
+                print(f"[cluster] coordinator on {coordinator.address}, "
+                      f"spawned {workers} loopback worker(s)",
+                      file=sys.stderr)
+                coordinator.wait_for_workers(
+                    1, timeout=self.cluster_options.get(
+                        "connect_timeout", 60.0))
+            else:
+                print(f"[cluster] coordinator on {coordinator.address}, "
+                      f"waiting for workers (`repro cluster worker "
+                      f"--connect {coordinator.address}`)", file=sys.stderr)
+            self._coordinator = coordinator
+        return self._coordinator
+
+    def close(self):
+        """Release cluster resources (no-op for the local backend)."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
 
     @classmethod
     def from_env(cls):
@@ -56,10 +105,21 @@ def get_context():
 
 
 def set_context(context):
-    """Install ``context`` (or ``None`` to fall back to env defaults)."""
+    """Install ``context`` (or ``None`` to fall back to env defaults).
+
+    The previous context's cluster resources (if any) are released.
+    """
     global _context
+    if _context is not None and _context is not context:
+        _context.close()
     _context = context
     return context
+
+
+def close_context():
+    """Release the current context's resources without replacing it."""
+    if _context is not None:
+        _context.close()
 
 
 def configure(**kwargs):

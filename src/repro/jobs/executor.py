@@ -82,12 +82,13 @@ class Executor:
     """Run JobSpecs: dedup -> cache -> (pool | serial) -> ledger."""
 
     def __init__(self, jobs=1, cache=None, ledger=None, timeout=None,
-                 progress=None):
+                 progress=None, cost_model=None):
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else NullCache()
         self.ledger = ledger if ledger is not None else NullLedger()
         self.timeout = timeout        # per-job seconds, None = unlimited
         self.progress = progress if progress is not None else ProgressLine()
+        self.cost_model = cost_model  # None = learn from the ledger lazily
 
     # ------------------------------------------------------------------
     def run(self, specs):
@@ -118,23 +119,39 @@ class Executor:
                 pending.append(spec)
 
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                self._run_serial(pending, unique, results, cached)
-            else:
-                self._run_pool(pending, unique, results, cached)
+            self._run_pending(pending, unique, results, cached)
 
         self.progress.finish(len(unique), cached,
                              time.perf_counter() - start)
         return [results[spec.key] for spec in specs]
 
     # ------------------------------------------------------------------
+    def _run_pending(self, pending, unique, results, cached):
+        """Execute the cache misses (backend hook point)."""
+        if self.jobs == 1 or len(pending) == 1:
+            self._run_serial(pending, unique, results, cached)
+        else:
+            self._run_pool(self._schedule(pending), unique, results, cached)
+
+    def _schedule(self, pending):
+        """Longest-expected-first order, learned from the run ledger.
+
+        Minimizes tail latency whenever jobs run concurrently (process
+        pool or cluster): the slowest points start first instead of
+        straggling at the end of the sweep.
+        """
+        from ..cluster.scheduler import cost_model_for, longest_first
+        if self.cost_model is None:
+            self.cost_model = cost_model_for(self.ledger)
+        return longest_first(pending, self.cost_model)
+
     def _finish_job(self, spec, metrics, unique, results, cached, *,
-                    wall_s, worker, status):
+                    wall_s, worker, status, retries=0):
         self.cache.put(spec, metrics)
         results[spec.key] = metrics
         miss = "off" if isinstance(self.cache, NullCache) else "miss"
         self.ledger.record(spec, cache=miss, wall_s=wall_s, worker=worker,
-                           status=status, metrics=metrics)
+                           status=status, metrics=metrics, retries=retries)
         self.progress.update(len(results), len(unique), spec, cached)
 
     def _retry_in_parent(self, spec, error):
@@ -146,7 +163,8 @@ class Executor:
         except Exception as retry_error:
             self.ledger.record(spec, cache="miss", worker="parent",
                                wall_s=time.perf_counter() - start,
-                               status="failed", error=repr(retry_error))
+                               status="failed", error=repr(retry_error),
+                               retries=1)
             raise JobError(
                 f"job {spec.label}/{spec.technique} failed twice: "
                 f"{error!r}, then {retry_error!r}") from retry_error
@@ -159,12 +177,14 @@ class Executor:
             try:
                 metrics = run_spec(spec)
                 status = "ok"
+                retries = 0
             except Exception as error:
                 metrics, _ = self._retry_in_parent(spec, error)
                 status = "retried"
+                retries = 1
             self._finish_job(spec, metrics, unique, results, cached,
                              wall_s=time.perf_counter() - start,
-                             worker="parent", status=status)
+                             worker="parent", status=status, retries=retries)
 
     def _run_pool(self, pending, unique, results, cached):
         workers = min(self.jobs, len(pending))
@@ -190,4 +210,4 @@ class Executor:
                     metrics, wall_s = self._retry_in_parent(spec, error)
                     self._finish_job(spec, metrics, unique, results, cached,
                                      wall_s=wall_s, worker="parent",
-                                     status="retried")
+                                     status="retried", retries=1)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 
 
 def _analysis_version():
@@ -29,6 +30,15 @@ def _analysis_version():
         return None
 
 
+def _config_digest(config):
+    """Stable digest of the spec's SimConfig (cost-model feature key)."""
+    try:
+        from ..config import config_digest
+        return config_digest(config)
+    except Exception:  # pragma: no cover - defensive: never block a record
+        return None
+
+
 class RunLedger:
     """Append-only JSONL log of every job an executor processed."""
 
@@ -37,7 +47,7 @@ class RunLedger:
         self._seq = 0
 
     def record(self, spec, *, cache, wall_s, worker, status="ok",
-               metrics=None, error=None):
+               metrics=None, error=None, retries=0):
         entry = {
             "seq": self._seq,
             "ts": time.time(),
@@ -49,8 +59,17 @@ class RunLedger:
             "label": spec.label,
             "cache": cache,            # "hit" | "miss" | "off"
             "wall_s": round(wall_s, 6),
-            "worker": worker,          # pid, or "parent" for in-process runs
+            # Worker identity: a pid for pool workers, "parent" for
+            # in-process runs, or a "<host>-<pid>" id for cluster workers.
+            "worker": worker,
             "status": status,          # "ok" | "retried" | "failed"
+            # Lease/crash retries this result took (0 = first attempt).
+            "retries": retries,
+            # Cost-model features: the scheduler learns seconds-per-
+            # instruction per (workload, graph, technique) from these.
+            "config_digest": _config_digest(spec.config),
+            "max_instructions": getattr(spec.config, "max_instructions",
+                                        None),
             # Analysis provenance: whether the run had the runtime
             # sanitizer enabled, and which rule catalogue vetted the
             # tree -- results from a pre-sanitizer tree stay
@@ -74,11 +93,28 @@ class RunLedger:
 
     @staticmethod
     def read(path):
-        """All records of a ledger file (missing file -> empty list)."""
+        """All intact records of a ledger file (missing file -> empty).
+
+        A crash mid-append (power loss, SIGKILL) can leave a truncated
+        trailing line; corrupt lines are skipped with a warning instead
+        of making the whole ledger unreadable.
+        """
         if not os.path.exists(path):
             return []
+        records = []
         with open(path) as handle:
-            return [json.loads(line) for line in handle if line.strip()]
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{path}:{lineno}: skipping corrupt ledger record "
+                        f"(truncated append?)", RuntimeWarning,
+                        stacklevel=2)
+        return records
 
 
 class NullLedger:

@@ -98,6 +98,119 @@ class TestJobsFlags:
         assert os.listdir(current_dir)
 
 
+class TestSweepCommand:
+    def test_sweep_requires_experiment(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "experiment name" in capsys.readouterr().err
+
+    def test_sweep_unknown_experiment(self, capsys):
+        assert main(["sweep", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_local_backend_matches_figure_command(self, capsys,
+                                                        tiny_graph):
+        scale = ["--graphs", tiny_graph, "--instructions", "1000",
+                 "--no-cache"]
+        assert main(["fig11"] + scale) == 0
+        direct = capsys.readouterr().out
+        assert main(["sweep", "fig11"] + scale) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_sweep_cluster_backend_matches_local(self, capsys, tmp_path,
+                                                 tiny_graph):
+        """CLI-level acceptance: --backend cluster with loopback workers
+        renders the same figure as the local pool."""
+        scale = ["--graphs", tiny_graph, "--instructions", "1000"]
+        assert main(["sweep", "fig11", "--cache-dir",
+                     str(tmp_path / "a")] + scale) == 0
+        local = capsys.readouterr().out
+        assert main(["sweep", "fig11", "--backend", "cluster",
+                     "--workers", "2", "--cache-dir",
+                     str(tmp_path / "b")] + scale) == 0
+        assert capsys.readouterr().out == local
+
+
+class TestClusterCommand:
+    def test_worker_requires_connect(self, capsys):
+        assert main(["cluster", "worker"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_status_requires_connect(self, capsys):
+        assert main(["cluster", "status"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_status_unreachable_coordinator(self, capsys):
+        assert main(["cluster", "status", "--connect",
+                     "127.0.0.1:1"]) == 1
+        assert "cannot reach coordinator" in capsys.readouterr().err
+
+    def test_unknown_action(self, capsys):
+        assert main(["cluster", "defrag"]) == 2
+
+    def test_status_against_live_coordinator(self, capsys):
+        from repro.cluster import Coordinator
+        coordinator = Coordinator()
+        coordinator.start()
+        try:
+            assert main(["cluster", "status", "--connect",
+                         f"127.0.0.1:{coordinator.port}"]) == 0
+            out = capsys.readouterr().out
+            assert f"coordinator  127.0.0.1:{coordinator.port}" in out
+            assert "workers      0" in out
+        finally:
+            coordinator.close()
+
+
+class TestReportCommand:
+    def test_report_missing_ledger(self, capsys, tmp_path):
+        assert main(["report", "--from-ledger",
+                     str(tmp_path / "nope.jsonl")]) == 1
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_report_from_sweep_ledger(self, capsys, tmp_path, tiny_graph):
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["fig9", "--graphs", tiny_graph, "--instructions",
+                     "1000", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        ledger_path = str(tmp_path / "cli-cache" / "runs.jsonl")
+        assert main(["report", "--from-ledger", ledger_path]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep progress from" in out
+        assert "completed point(s)" in out
+        assert "vs ooo" in out
+        # Baselines present, so a harmonic-mean speedup line is rendered.
+        assert "h-mean speedup over ooo" in out
+
+
+class TestMaxBytesPrune:
+    def test_prune_max_bytes_evicts_until_budget(self, capsys, tmp_path,
+                                                 tiny_graph):
+        import os
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["fig11", "--graphs", tiny_graph, "--instructions",
+                     "500", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        from repro.jobs import code_salt
+        results_dir = os.path.join(cache_dir, "results", code_salt())
+        before = len(os.listdir(results_dir))
+        assert before > 1
+        assert main(["cache", "prune", "--max-bytes", "1",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"evicted {before} oldest result(s)" in out
+        assert os.listdir(results_dir) == []
+
+    def test_prune_max_bytes_noop_when_under_budget(self, capsys, tmp_path,
+                                                    tiny_graph):
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["fig11", "--graphs", tiny_graph, "--instructions",
+                     "500", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-bytes", str(10 ** 9),
+                     "--cache-dir", cache_dir]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+
+
 class TestBenchCommand:
     def test_bench_smoke_writes_report(self, capsys, tmp_path, monkeypatch):
         import json

@@ -1,0 +1,406 @@
+"""Tests for the ``repro.cluster`` distributed executor backend.
+
+Covers the wire protocol framing, the ledger-learned cost model and
+longest-first scheduler, coordinator/worker handshake policy (code-salt
+rejection), and the full loopback path: a coordinator plus real worker
+subprocesses (spawned exactly as ``repro cluster worker --connect``
+users would) producing bit-identical metrics to the local backend --
+including when a worker is SIGKILLed mid-sweep, when a job keeps
+crashing, and when every worker disappears.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.config import SimConfig, TECH_DVR, TECH_OOO
+from repro.cluster import (ClusterExecutor, Coordinator, CostModel,
+                           ProtocolError, Worker, cost_model_for,
+                           longest_first, parse_address, query_status)
+from repro.cluster import protocol
+from repro.jobs import (Executor, JobSpec, NullCache, NullLedger,
+                        ResultCache, RunLedger)
+
+
+def _spec(workload="nas-is", technique=TECH_OOO, seed=12345,
+          max_instructions=1_500, **params):
+    config = SimConfig(max_instructions=max_instructions
+                       ).with_technique(technique)
+    return JobSpec(workload=workload, params=params, config=config,
+                   seed=seed)
+
+
+def _sweep_specs(count=6):
+    """Distinct cheap specs (unique seeds) for multi-job sweeps."""
+    return [_spec(workload=w, technique=t, seed=s)
+            for s, (w, t) in enumerate(
+                [("nas-is", TECH_OOO), ("kangaroo", TECH_OOO),
+                 ("randomaccess", TECH_OOO), ("nas-is", TECH_DVR),
+                 ("camel", TECH_OOO), ("hj2", TECH_OOO),
+                 ("kangaroo", TECH_DVR), ("randomaccess", TECH_DVR)],
+                start=1)][:count]
+
+
+# ---------------------------------------------------------------------------
+# Protocol framing
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"type": "job", "spec": {"deep": [1, 2, {"x": "y"}]}}
+            protocol.send_message(left, message)
+            assert protocol.recv_message(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert protocol.recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            frame = protocol.encode({"type": "result"})
+            left.sendall(frame[:-3])        # header + partial payload
+            left.close()
+            with pytest.raises(ProtocolError):
+                protocol.recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            header = protocol._HEADER.pack(protocol.MAX_MESSAGE_BYTES + 1)
+            left.sendall(header)
+            with pytest.raises(ProtocolError):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:7077") == ("10.0.0.5", 7077)
+        assert parse_address(":7077") == ("127.0.0.1", 7077)
+        assert parse_address(("h", "5")) == ("h", 5)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+# ---------------------------------------------------------------------------
+# Cost model + scheduler
+# ---------------------------------------------------------------------------
+def _ledger_record(workload, technique, wall_s, max_instructions,
+                   graph=None, cache="miss", status="ok"):
+    return {"workload": workload, "technique": technique, "wall_s": wall_s,
+            "max_instructions": max_instructions, "cache": cache,
+            "status": status, "params": {"graph": graph} if graph else {}}
+
+
+class TestCostModel:
+    def test_empty_model_predicts_default(self):
+        model = CostModel()
+        assert len(model) == 0
+        assert model.predict(_spec()) == CostModel.DEFAULT_COST
+
+    def test_exact_key_beats_fallbacks(self):
+        model = CostModel.from_records([
+            _ledger_record("nas-is", "ooo", 2.0, 1_000),
+            _ledger_record("camel", "ooo", 50.0, 1_000),
+        ])
+        # nas-is/ooo at 1500 instructions: rate 0.002 s/instr * 1500.
+        assert model.predict(_spec()) == pytest.approx(3.0)
+
+    def test_technique_fallback_scales_with_instructions(self):
+        model = CostModel.from_records(
+            [_ledger_record("nas-is", "dvr", 4.0, 1_000)])
+        prediction = model.predict(
+            _spec(workload="camel", technique=TECH_DVR,
+                  max_instructions=2_000))
+        assert prediction == pytest.approx(8.0)
+
+    def test_cache_hits_and_failures_ignored(self):
+        model = CostModel.from_records([
+            _ledger_record("nas-is", "ooo", 0.001, 1_000, cache="hit"),
+            _ledger_record("nas-is", "ooo", 9.0, 1_000, status="failed"),
+        ])
+        assert len(model) == 0
+
+    def test_from_ledger_file(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        spec = _spec()
+        from repro.harness.runner import run_spec
+        metrics = run_spec(spec)
+        ledger.record(spec, cache="miss", wall_s=1.25, worker=1,
+                      metrics=metrics)
+        model = CostModel.from_ledger(ledger.path)
+        assert len(model) == 1
+        assert model.predict(spec) == pytest.approx(1.25)
+
+
+class TestScheduler:
+    def test_longest_first_orders_by_predicted_cost(self):
+        model = CostModel.from_records([
+            _ledger_record("nas-is", "ooo", 1.0, 1_000),
+            _ledger_record("camel", "ooo", 10.0, 1_000),
+        ])
+        fast, slow = _spec(workload="nas-is"), _spec(workload="camel")
+        assert longest_first([fast, slow], model) == [slow, fast]
+
+    def test_no_model_keeps_enumeration_order(self):
+        specs = [_spec(seed=s) for s in range(4)]
+        assert longest_first(specs, None) == specs
+        assert longest_first(specs, CostModel()) == specs
+
+    def test_tie_break_is_stable(self):
+        model = CostModel.from_records(
+            [_ledger_record("nas-is", "ooo", 1.0, 1_000)])
+        specs = [_spec(seed=s) for s in range(5)]   # all same predicted cost
+        assert longest_first(specs, model) == specs
+
+    def test_cost_model_for_null_ledger(self):
+        assert cost_model_for(NullLedger()) is None
+
+    def test_pool_executor_reorders_submissions(self, tmp_path):
+        """The local pool backend consults the ledger-learned model too."""
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        model = CostModel.from_records([
+            _ledger_record("nas-is", "ooo", 1.0, 1_000),
+            _ledger_record("camel", "ooo", 10.0, 1_000),
+        ])
+        executor = Executor(jobs=2, cache=NullCache(), ledger=ledger,
+                            cost_model=model)
+        fast, slow = _spec(workload="nas-is"), _spec(workload="camel")
+        assert executor._schedule([fast, slow]) == [slow, fast]
+        # And results still align with the *input* order.
+        results = executor.run([fast, slow])
+        assert [m.workload for m in results] == ["nas-is", "camel"]
+
+
+# ---------------------------------------------------------------------------
+# Loopback cluster helpers
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def coordinator():
+    coordinator = Coordinator(job_timeout=120, heartbeat_timeout=15.0,
+                              retry_base=0.05, retry_cap=0.2,
+                              worker_grace=30.0)
+    coordinator.start()
+    yield coordinator
+    coordinator.close()
+
+
+def _cluster_executor(coordinator, tmp_path, progress=None):
+    return ClusterExecutor(
+        coordinator, cache=ResultCache(str(tmp_path)),
+        ledger=RunLedger(str(tmp_path / "runs.jsonl")), progress=progress)
+
+
+def _thread_worker(coordinator, **kwargs):
+    """An in-process worker serving the coordinator from a daemon thread."""
+    worker = Worker(f"127.0.0.1:{coordinator.port}", **kwargs)
+    thread = threading.Thread(target=worker.serve, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: subprocess workers on 127.0.0.1 (the CI loopback suite)
+# ---------------------------------------------------------------------------
+class TestLoopbackSweep:
+    def test_two_subprocess_workers_match_serial(self, coordinator,
+                                                 tmp_path):
+        specs = _sweep_specs(6)
+        serial = Executor(jobs=1, cache=NullCache()).run(specs)
+
+        coordinator.spawn_local_workers(2)
+        coordinator.wait_for_workers(2, timeout=60)
+        clustered = _cluster_executor(coordinator, tmp_path).run(specs)
+
+        for expected, actual in zip(serial, clustered):
+            assert json.dumps(actual.to_dict(), sort_keys=True) == \
+                json.dumps(expected.to_dict(), sort_keys=True)
+        records = RunLedger.read(str(tmp_path / "runs.jsonl"))
+        assert len(records) == len(specs)
+        workers = {str(r["worker"]) for r in records}
+        assert "parent" not in workers          # everything ran remotely
+        assert all(r["retries"] == 0 for r in records)
+        # Second run: everything is served from the coordinator's cache.
+        rerun = _cluster_executor(coordinator, tmp_path).run(specs)
+        records = RunLedger.read(str(tmp_path / "runs.jsonl"))
+        assert [r["cache"] for r in records[len(specs):]] == \
+            ["hit"] * len(specs)
+        for expected, actual in zip(serial, rerun):
+            assert actual.cycles == expected.cycles
+
+    def test_sigkill_worker_mid_sweep_reassigns_leases(self, coordinator,
+                                                       tmp_path):
+        """Acceptance: kill one of two workers; the sweep still completes
+        with bit-identical metrics."""
+        specs = _sweep_specs(8)
+        serial = Executor(jobs=1, cache=NullCache()).run(specs)
+
+        processes = coordinator.spawn_local_workers(2)
+        coordinator.wait_for_workers(2, timeout=60)
+
+        class KillOnFirstResult:
+            """Progress hook that SIGKILLs a worker at the first result."""
+
+            def __init__(self, victim):
+                self.victim = victim
+                self.killed = False
+
+            def update(self, done, total, spec, cached):
+                if not self.killed:
+                    self.killed = True
+                    self.victim.send_signal(signal.SIGKILL)
+
+            def finish(self, total, cached, wall_s):
+                pass
+
+        progress = KillOnFirstResult(processes[0])
+        clustered = _cluster_executor(coordinator, tmp_path,
+                                      progress=progress).run(specs)
+
+        assert progress.killed
+        assert processes[0].wait(timeout=30) is not None
+        for expected, actual in zip(serial, clustered):
+            assert json.dumps(actual.to_dict(), sort_keys=True) == \
+                json.dumps(expected.to_dict(), sort_keys=True)
+        records = RunLedger.read(str(tmp_path / "runs.jsonl"))
+        assert len(records) == len(specs)
+        assert all("ipc" in r for r in records)
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance with in-process workers (fast, deterministic injection)
+# ---------------------------------------------------------------------------
+class TestFaultTolerance:
+    def test_stale_salt_worker_rejected(self, coordinator):
+        worker = Worker(f"127.0.0.1:{coordinator.port}", salt="stale-tree")
+        assert worker.serve() == 2              # WorkerRejected exit code
+        assert coordinator.live_workers() == []
+
+    def test_job_exception_requeues_with_retry_accounting(self, coordinator,
+                                                          tmp_path):
+        from repro.harness.runner import run_spec
+        failures = {"left": 1}
+
+        def flaky(spec):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("injected job crash")
+            return run_spec(spec)
+
+        _thread_worker(coordinator, run_job=flaky, worker_id="flaky-w")
+        coordinator.wait_for_workers(1, timeout=10)
+        executor = _cluster_executor(coordinator, tmp_path)
+        results = executor.run([_spec()])
+        assert results[0].cycles > 0
+        records = RunLedger.read(str(tmp_path / "runs.jsonl"))
+        assert records[-1]["status"] == "retried"
+        assert records[-1]["retries"] == 1
+        assert records[-1]["worker"] == "flaky-w"
+
+    def test_lease_timeout_moves_job_to_healthy_worker(self, tmp_path):
+        from repro.harness.runner import run_spec
+        coordinator = Coordinator(job_timeout=1.0, heartbeat_timeout=30.0,
+                                  retry_base=0.05, retry_cap=0.1,
+                                  worker_grace=30.0)
+        coordinator.start()
+        try:
+            def stuck(spec):
+                time.sleep(60)
+                return run_spec(spec)
+
+            # The stuck worker joins first, so it gets the first lease.
+            _thread_worker(coordinator, run_job=stuck, worker_id="stuck-w")
+            coordinator.wait_for_workers(1, timeout=10)
+            _thread_worker(coordinator, run_job=run_spec,
+                           worker_id="healthy-w")
+            coordinator.wait_for_workers(2, timeout=10)
+
+            executor = _cluster_executor(coordinator, tmp_path)
+            results = executor.run([_spec()])
+            assert results[0].cycles > 0
+            record = RunLedger.read(str(tmp_path / "runs.jsonl"))[-1]
+            assert record["worker"] == "healthy-w"
+            assert record["retries"] >= 1
+        finally:
+            coordinator.close()
+
+    def test_no_workers_falls_back_to_parent(self, tmp_path):
+        coordinator = Coordinator(worker_grace=0.2, retry_base=0.01)
+        coordinator.start()
+        try:
+            executor = _cluster_executor(coordinator, tmp_path)
+            results = executor.run([_spec()])
+            assert results[0].cycles > 0
+            record = RunLedger.read(str(tmp_path / "runs.jsonl"))[-1]
+            assert record["worker"] == "parent"
+            assert record["status"] == "retried"
+        finally:
+            coordinator.close()
+
+    def test_drain_and_rejoin(self, coordinator, tmp_path):
+        """A worker that leaves after every job (max_jobs=1) rejoins and
+        the sweep still finishes."""
+        from repro.harness.runner import run_spec
+        stop = threading.Event()
+
+        def rejoin_loop():
+            while not stop.is_set():
+                worker = Worker(f"127.0.0.1:{coordinator.port}",
+                                worker_id="revolving-w", max_jobs=1,
+                                run_job=run_spec)
+                if worker.serve() != 0:       # coordinator gone
+                    return
+
+        thread = threading.Thread(target=rejoin_loop, daemon=True)
+        thread.start()
+        try:
+            specs = [_spec(seed=s) for s in (21, 22, 23)]
+            results = _cluster_executor(coordinator, tmp_path).run(specs)
+            assert all(m.cycles > 0 for m in results)
+            records = RunLedger.read(str(tmp_path / "runs.jsonl"))
+            assert len(records) == 3
+            assert {r["worker"] for r in records} == {"revolving-w"}
+        finally:
+            stop.set()
+
+
+# ---------------------------------------------------------------------------
+# Status introspection
+# ---------------------------------------------------------------------------
+class TestStatus:
+    def test_query_status_reports_workers(self, coordinator):
+        from repro.harness.runner import run_spec
+        _thread_worker(coordinator, run_job=run_spec, worker_id="status-w")
+        coordinator.wait_for_workers(1, timeout=10)
+        info = query_status(f"127.0.0.1:{coordinator.port}")
+        assert info["address"].endswith(str(coordinator.port))
+        assert [w["name"] for w in info["workers"]] == ["status-w"]
+        assert info["workers"][0]["state"] == "idle"
+        assert info["jobs"]["total"] == 0
+
+    def test_status_counts_jobs_after_sweep(self, coordinator, tmp_path):
+        from repro.harness.runner import run_spec
+        _thread_worker(coordinator, run_job=run_spec, worker_id="count-w")
+        coordinator.wait_for_workers(1, timeout=10)
+        _cluster_executor(coordinator, tmp_path).run(
+            [_spec(seed=31), _spec(seed=32)])
+        info = query_status(f"127.0.0.1:{coordinator.port}")
+        assert info["jobs"]["done"] == 2
+        assert info["jobs"]["failed"] == 0

@@ -1,0 +1,233 @@
+"""Backend-independent contract tests for the executor family.
+
+``Executor`` (serial and process-pool) and ``ClusterExecutor`` must be
+interchangeable behind ``run(specs) -> [Metrics]``: same dedup semantics,
+same cache accounting, same input-order alignment, same one-retry story
+when a job crashes, and the same ``JobError`` when a job is truly broken.
+These tests run the identical assertions against all three backends.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.config import SimConfig, TECH_DVR, TECH_OOO
+from repro.cluster import ClusterExecutor, Coordinator, Worker
+from repro.harness.runner import run_spec
+from repro.jobs import (Executor, JobError, JobSpec, NullCache, ResultCache,
+                        RunLedger)
+
+BACKENDS = ("serial", "pool", "cluster")
+
+
+def _spec(workload="nas-is", technique=TECH_OOO, seed=1,
+          max_instructions=1_200, **params):
+    config = SimConfig(max_instructions=max_instructions
+                       ).with_technique(technique)
+    return JobSpec(workload=workload, params=params, config=config,
+                   seed=seed)
+
+
+class _Quiet:
+    def update(self, done, total, spec, cached):
+        pass
+
+    def finish(self, total, cached, wall_s):
+        pass
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture
+def make_executor(backend, tmp_path):
+    """Factory building an executor of the requested backend.
+
+    ``run_job`` (cluster only) injects worker-side behaviour; other
+    backends ignore it and run the real simulator.
+    """
+    coordinators = []
+
+    def factory(cache=None, ledger=None, run_job=None, workers=2):
+        cache = cache if cache is not None else NullCache()
+        ledger_obj = ledger
+        if backend == "serial":
+            return Executor(jobs=1, cache=cache, ledger=ledger_obj,
+                            progress=_Quiet())
+        if backend == "pool":
+            return Executor(jobs=2, cache=cache, ledger=ledger_obj,
+                            progress=_Quiet())
+        coordinator = Coordinator(job_timeout=120, retry_base=0.05,
+                                  retry_cap=0.2, worker_grace=30.0)
+        coordinator.start()
+        coordinators.append(coordinator)
+        import threading
+        for index in range(workers):
+            worker = Worker(f"127.0.0.1:{coordinator.port}",
+                            worker_id=f"w{index}",
+                            run_job=run_job or run_spec)
+            threading.Thread(target=worker.serve, daemon=True).start()
+        coordinator.wait_for_workers(workers, timeout=10)
+        return ClusterExecutor(coordinator, cache=cache, ledger=ledger_obj,
+                               progress=_Quiet())
+
+    yield factory
+    for coordinator in coordinators:
+        coordinator.close()
+
+
+def _dumps(metrics):
+    return json.dumps(metrics.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Alignment + dedup
+# ---------------------------------------------------------------------------
+def test_results_align_with_input_order(make_executor):
+    specs = [_spec(seed=3), _spec(workload="kangaroo", seed=1),
+             _spec(technique=TECH_DVR, seed=2)]
+    expected = [_dumps(run_spec(spec)) for spec in specs]
+    results = make_executor().run(specs)
+    assert [_dumps(metrics) for metrics in results] == expected
+
+
+def test_duplicate_specs_simulated_once(make_executor, tmp_path):
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    duplicate = _spec(seed=7)
+    specs = [duplicate, _spec(seed=8), _spec(seed=7)]
+    results = make_executor(ledger=ledger).run(specs)
+    assert _dumps(results[0]) == _dumps(results[2])
+    records = RunLedger.read(ledger.path)
+    assert len(records) == 2                  # two unique keys, one run each
+    assert {record["key"] for record in records} == \
+        {specs[0].key, specs[1].key}
+
+
+def test_duplicate_specs_dedup_survives_one_crash(make_executor, backend,
+                                                  tmp_path, monkeypatch):
+    """A job that crashes once still yields one result for both positions."""
+    failures = {"left": 1}
+
+    def flaky(spec):
+        if failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError("injected crash")
+        return run_spec(spec)
+
+    if backend == "pool":
+        pytest.skip("cross-process injection covered by the fake-pool tests")
+    if backend == "serial":
+        monkeypatch.setattr("repro.harness.runner.run_spec", flaky)
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    executor = make_executor(ledger=ledger, run_job=flaky)
+    duplicate = _spec(seed=11)
+    results = executor.run([duplicate, _spec(seed=11)])
+    assert _dumps(results[0]) == _dumps(results[1])
+    records = RunLedger.read(ledger.path)
+    assert len(records) == 1
+    assert records[0]["status"] == "retried"
+    assert records[0]["retries"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Cache accounting
+# ---------------------------------------------------------------------------
+def test_cached_vs_executed_accounting(make_executor, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    specs = [_spec(seed=21), _spec(seed=22)]
+
+    first = make_executor(cache=cache, ledger=ledger).run(specs)
+    records = RunLedger.read(ledger.path)
+    assert [record["cache"] for record in records] == ["miss", "miss"]
+
+    second = make_executor(cache=cache, ledger=ledger).run(
+        specs + [_spec(seed=23)])
+    records = RunLedger.read(ledger.path)[2:]
+    assert sorted(record["cache"] for record in records) == \
+        ["hit", "hit", "miss"]
+    hits = [record for record in records if record["cache"] == "hit"]
+    assert all(record["worker"] == "parent" for record in hits)
+    assert [_dumps(metrics) for metrics in second[:2]] == \
+        [_dumps(metrics) for metrics in first]
+
+
+# ---------------------------------------------------------------------------
+# Broken jobs fail the same way everywhere
+# ---------------------------------------------------------------------------
+def test_unrunnable_spec_raises_job_error(make_executor, backend, tmp_path):
+    if backend == "pool":
+        pytest.skip("pool failure paths covered by the fake-pool tests")
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    executor = make_executor(ledger=ledger)
+    with pytest.raises(JobError):
+        executor.run([_spec(workload="no-such-workload")])
+    records = RunLedger.read(ledger.path)
+    assert records[-1]["status"] == "failed"
+    assert records[-1]["worker"] == "parent"
+
+
+# ---------------------------------------------------------------------------
+# Pool-specific failure paths (deterministic via a fake pool)
+# ---------------------------------------------------------------------------
+class _FakePool:
+    """ProcessPoolExecutor stand-in whose futures hang or crash."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    mode = "hang"
+
+    def submit(self, fn, payload):
+        future = concurrent.futures.Future()
+        if self.mode == "crash":
+            future.set_exception(
+                concurrent.futures.process.BrokenProcessPool("worker died"))
+        # "hang": never resolves, so result(timeout) raises TimeoutError.
+        return future
+
+
+@pytest.fixture
+def fake_pool(monkeypatch):
+    def activate(mode):
+        _FakePool.mode = mode
+        monkeypatch.setattr("repro.jobs.executor.ProcessPoolExecutor",
+                            _FakePool)
+    return activate
+
+
+def test_pool_job_timeout_retries_in_parent(fake_pool, tmp_path):
+    fake_pool("hang")
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    executor = Executor(jobs=2, ledger=ledger, timeout=0.2,
+                        progress=_Quiet())
+    specs = [_spec(seed=31), _spec(seed=32)]
+    results = executor.run(specs)
+    assert [_dumps(metrics) for metrics in results] == \
+        [_dumps(run_spec(spec)) for spec in specs]
+    records = RunLedger.read(ledger.path)
+    assert all(record["status"] == "retried" for record in records)
+    assert all(record["worker"] == "parent" for record in records)
+    assert all(record["retries"] == 1 for record in records)
+
+
+def test_pool_worker_crash_retries_in_parent(fake_pool, tmp_path):
+    fake_pool("crash")
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    executor = Executor(jobs=2, ledger=ledger, progress=_Quiet())
+    results = executor.run([_spec(seed=41), _spec(seed=42)])
+    assert all(metrics.cycles > 0 for metrics in results)
+    records = RunLedger.read(ledger.path)
+    assert [record["status"] for record in records] == \
+        ["retried", "retried"]

@@ -177,6 +177,50 @@ class TestResultCache:
     def test_prune_empty_cache_is_noop(self, tmp_path):
         cache = ResultCache(str(tmp_path), salt="s1")
         assert cache.prune() == 0
+        assert cache.prune_to_bytes(0) == 0
+
+    def _aged_entries(self, tmp_path, seeds):
+        """A cache with one entry per seed, mtimes increasing with seed."""
+        cache = ResultCache(str(tmp_path), salt="s1")
+        for age, seed in enumerate(seeds):
+            spec = _spec(seed=seed)
+            cache.put(spec, run_spec(spec))
+            os.utime(os.path.join(cache.results_dir, f"{spec.key}.json"),
+                     (1_000 + age, 1_000 + age))
+        return cache
+
+    def test_prune_to_bytes_evicts_oldest_first(self, tmp_path):
+        cache = self._aged_entries(tmp_path, seeds=(1, 2, 3))
+        sizes = {name: os.path.getsize(os.path.join(cache.results_dir, name))
+                 for name in os.listdir(cache.results_dir)}
+        budget = sum(sizes.values()) - 1          # force exactly one eviction
+        assert cache.prune_to_bytes(budget) == 1
+        survivors = os.listdir(cache.results_dir)
+        assert len(survivors) == 2
+        # The evicted entry is the oldest one (mtime 1000): seed 1.
+        evicted_key = _spec(seed=1).key
+        assert f"{evicted_key}.json" not in survivors
+        assert cache.get(_spec(seed=3)) is not None
+
+    def test_prune_to_bytes_zero_budget_clears_generation(self, tmp_path):
+        cache = self._aged_entries(tmp_path, seeds=(1, 2))
+        assert cache.prune_to_bytes(0) == 2
+        assert os.listdir(cache.results_dir) == []
+
+    def test_prune_to_bytes_under_budget_is_noop(self, tmp_path):
+        cache = self._aged_entries(tmp_path, seeds=(1, 2))
+        assert cache.prune_to_bytes(10 * 1024 * 1024) == 0
+        assert len(os.listdir(cache.results_dir)) == 2
+
+    def test_prune_to_bytes_ignores_stale_generations(self, tmp_path):
+        spec = _spec()
+        metrics = run_spec(spec)
+        stale = ResultCache(str(tmp_path), salt="oldcode")
+        stale.put(spec, metrics)
+        current = ResultCache(str(tmp_path), salt="newcode")
+        current.put(spec, metrics)
+        assert current.prune_to_bytes(0) == 1     # current entry only
+        assert stale.get(spec) is not None        # stale gen untouched
 
 
 class TestRunLedger:
@@ -199,6 +243,32 @@ class TestRunLedger:
 
     def test_read_missing_file(self, tmp_path):
         assert RunLedger.read(str(tmp_path / "nope.jsonl")) == []
+
+    def test_read_skips_truncated_trailing_line(self, tmp_path):
+        """A crash mid-append must not make the whole ledger unreadable."""
+        path = str(tmp_path / "runs.jsonl")
+        ledger = RunLedger(path)
+        spec = _spec()
+        ledger.record(spec, cache="miss", wall_s=1.0, worker=1)
+        ledger.record(spec, cache="hit", wall_s=0.001, worker="parent")
+        with open(path) as handle:
+            intact = handle.read()
+        with open(path, "w") as handle:
+            handle.write(intact + intact.splitlines()[0][:37])  # torn append
+        with pytest.warns(RuntimeWarning, match="corrupt ledger record"):
+            records = RunLedger.read(path)
+        assert len(records) == 2
+        assert [record["cache"] for record in records] == ["miss", "hit"]
+
+    def test_record_carries_cost_model_features(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        spec = _spec()
+        RunLedger(path).record(spec, cache="miss", wall_s=1.0, worker=1,
+                               retries=2)
+        record = RunLedger.read(path)[0]
+        assert record["retries"] == 2
+        assert record["max_instructions"] == spec.config.max_instructions
+        assert record["config_digest"] == config_digest(spec.config)
 
 
 class TestExecutor:
