@@ -18,8 +18,10 @@ Usage::
     python -m repro cache prune --keep-current
     python -m repro cache prune --max-bytes 500000000
     python -m repro sweep fig7 --backend cluster --workers 4
-    python -m repro cluster worker --connect 10.0.0.5:7077
+    python -m repro sweep fig7 --resume --keep-going
+    python -m repro cluster worker --connect 10.0.0.5:7077 --secret S
     python -m repro cluster status --connect 10.0.0.5:7077
+    python -m repro chaos --seed 7         # fault-injection matrix
     python -m repro report --from-ledger ~/.cache/repro/runs.jsonl
 
 Experiment commands execute through the ``repro.jobs`` engine: results
@@ -209,15 +211,48 @@ def cmd_sweep(args):
               file=sys.stderr)
         return 2
     scale = _scale_from_args(args)
+    broken = []
     for experiment_name in names:
         experiment = ALL_EXPERIMENTS[experiment_name]
-        result = (experiment() if experiment_name == "table1"
-                  else experiment(scale))
+        try:
+            result = (experiment() if experiment_name == "table1"
+                      else experiment(scale))
+        except Exception as error:
+            # --keep-going: an experiment whose jobs exhausted their
+            # retry budget (or whose join choked on the resulting holes)
+            # is reported, and the remaining experiments still run.
+            if not args.keep_going:
+                raise
+            broken.append(experiment_name)
+            print(f"[sweep] {experiment_name} failed: {error}",
+                  file=sys.stderr)
+            continue
         print(result.render())
         if len(names) > 1:
             print()
         _maybe_save(result, args)
-    return 0
+    failures = jobs.get_context().failure_report
+    if failures:
+        print(failures.render(), file=sys.stderr)
+    return 1 if (broken or failures) else 0
+
+
+def cmd_chaos(args):
+    """`repro chaos --seed S`: run the fault matrix over loopback."""
+    from .faults import run_chaos
+    report = run_chaos(args.seed, cache_dir=args.cache_dir,
+                       workers=args.workers,
+                       secret=args.secret or "chaos-secret")
+    if args.out:
+        with open(args.out, "a") as handle:
+            handle.write(json.dumps(report) + "\n")
+        print(f"[saved chaos report -> {args.out}]")
+    print(json.dumps({key: report[key] for key in
+                      ("seed", "ok", "specs", "faults_fired",
+                       "chaos_identical", "resume_identical", "gave_up",
+                       "stale_salt_rejected", "wrong_secret_rejected",
+                       "resume_replayed")}, indent=2))
+    return 0 if report["ok"] else 1
 
 
 def cmd_cluster(args):
@@ -229,17 +264,22 @@ def cmd_cluster(args):
                   file=sys.stderr)
             return 2
         from .cluster import Worker
-        worker = Worker(args.connect, max_jobs=args.max_jobs,
-                        reconnect=args.reconnect)
+        kwargs = {"max_jobs": args.max_jobs, "reconnect": args.reconnect}
+        if args.secret:              # else fall back to $REPRO_CLUSTER_SECRET
+            kwargs["secret"] = args.secret
+        worker = Worker(args.connect, **kwargs)
         return worker.serve()
     if action == "status":
         if not args.connect:
             print("cluster status needs --connect HOST:PORT",
                   file=sys.stderr)
             return 2
-        from .cluster import ProtocolError, query_status
+        from .cluster import AuthenticationError, ProtocolError, query_status
         try:
-            info = query_status(args.connect)
+            info = query_status(args.connect, secret=args.secret or None)
+        except AuthenticationError as error:
+            print(f"cluster status: {error}", file=sys.stderr)
+            return 1
         except (OSError, ProtocolError) as error:
             print(f"cannot reach coordinator at {args.connect}: {error}",
                   file=sys.stderr)
@@ -311,7 +351,7 @@ def main(argv=None):
         description="Decoupled Vector Runahead reproduction harness")
     parser.add_argument("command",
                         choices=sorted(ALL_EXPERIMENTS) + ["all", "bench",
-                                                           "cache",
+                                                           "cache", "chaos",
                                                            "cluster",
                                                            "lint", "list",
                                                            "report", "run",
@@ -375,6 +415,20 @@ def main(argv=None):
                              "(port 0 = ephemeral)")
     parser.add_argument("--connect", default=None, metavar="HOST:PORT",
                         help="cluster worker/status: coordinator address")
+    parser.add_argument("--secret", default=None, metavar="SECRET",
+                        help="cluster shared handshake secret (default: "
+                             "$REPRO_CLUSTER_SECRET; unauthenticated "
+                             "dialers are rejected before HELLO)")
+    parser.add_argument("--resume", action="store_true",
+                        help="sweep: replay specs the run ledger already "
+                             "records as completed; dispatch only the "
+                             "remainder")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="sweep: report jobs that exhaust their retry "
+                             "budget and continue instead of aborting")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="chaos: fault-plan seed (same seed = same "
+                             "fault schedule, bit-identical)")
     parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
                         help="cluster worker: exit after N jobs")
     parser.add_argument("--reconnect", type=int, default=3, metavar="N",
@@ -400,13 +454,18 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     env = jobs.ExecutionContext.from_env()
+    cluster_options = {"bind": args.bind, "workers": args.workers}
+    if args.secret:
+        cluster_options["secret"] = args.secret
     jobs.configure(
         jobs=args.jobs if args.jobs is not None else env.jobs,
         cache_dir=args.cache_dir or env.cache_dir,
         no_cache=args.no_cache or env.no_cache,
         timeout=args.job_timeout,
         backend=args.backend,
-        cluster={"bind": args.bind, "workers": args.workers})
+        cluster=cluster_options,
+        resume=args.resume,
+        on_failure="report" if args.keep_going else "raise")
 
     try:
         if args.command == "list":
@@ -417,6 +476,8 @@ def main(argv=None):
             return cmd_bench(args)
         if args.command == "cache":
             return cmd_cache(args)
+        if args.command == "chaos":
+            return cmd_chaos(args)
         if args.command == "cluster":
             return cmd_cluster(args)
         if args.command == "lint":

@@ -16,12 +16,15 @@ orders dispatch longest-expected-first for both backends.
 from .coordinator import ClusterError, Coordinator, WorkerHandle
 from .costmodel import CostModel
 from .executor import ClusterExecutor
-from .protocol import (Connection, MAX_MESSAGE_BYTES, PROTOCOL_VERSION,
-                       ProtocolError, parse_address, query_status)
+from .protocol import (AuthenticationError, Connection, MAX_MESSAGE_BYTES,
+                       PROTOCOL_VERSION, ProtocolError, authenticate_client,
+                       compute_mac, default_secret, parse_address,
+                       query_status)
 from .scheduler import cost_model_for, longest_first
 from .worker import Worker, WorkerRejected
 
 __all__ = [
+    "AuthenticationError",
     "ClusterError",
     "ClusterExecutor",
     "Connection",
@@ -33,7 +36,10 @@ __all__ = [
     "Worker",
     "WorkerHandle",
     "WorkerRejected",
+    "authenticate_client",
+    "compute_mac",
     "cost_model_for",
+    "default_secret",
     "longest_first",
     "parse_address",
     "query_status",

@@ -37,9 +37,10 @@ import sys
 import threading
 import time
 
-from .protocol import (Connection, DRAIN, GOODBYE, HEARTBEAT, HELLO, JOB,
-                       PROTOCOL_VERSION, ProtocolError, REJECT, RESULT,
-                       STATUS, STATUS_REPLY, WELCOME)
+from .protocol import (AUTH, CHALLENGE, Connection, DRAIN, GOODBYE,
+                       HEARTBEAT, HELLO, JOB, PROTOCOL_VERSION,
+                       ProtocolError, REJECT, RESULT, STATUS, STATUS_REPLY,
+                       WELCOME, default_secret, verify_mac)
 
 
 class ClusterError(RuntimeError):
@@ -85,12 +86,22 @@ class _Job:
 class Coordinator:
     """Accepts workers, leases jobs, reassigns on failure."""
 
+    #: Sentinel: "no secret passed, fall back to $REPRO_CLUSTER_SECRET".
+    _SECRET_FROM_ENV = object()
+
     def __init__(self, host="127.0.0.1", port=0, *, job_timeout=None,
                  heartbeat_timeout=15.0, retry_base=0.25, retry_cap=5.0,
-                 max_attempts=3, worker_grace=60.0, poll_interval=0.05):
+                 max_attempts=3, worker_grace=60.0, poll_interval=0.05,
+                 secret=_SECRET_FROM_ENV):
         self.host = host
         self.port = port
         self.job_timeout = job_timeout
+        # Shared handshake secret: every dialer (worker or status client)
+        # must answer a CHALLENGE with HMAC-SHA256(secret, nonce) before
+        # any other frame is processed.  None disables authentication.
+        if secret is Coordinator._SECRET_FROM_ENV:
+            secret = default_secret()
+        self.secret = secret or None
         self.heartbeat_timeout = heartbeat_timeout
         self.retry_base = retry_base
         self.retry_cap = retry_cap
@@ -179,6 +190,10 @@ class Coordinator:
         if package_root not in existing.split(os.pathsep):
             env["PYTHONPATH"] = package_root + (
                 os.pathsep + existing if existing else "")
+        if self.secret:
+            # Hand the handshake secret to loopback workers via the
+            # environment, never argv (argv is world-readable in ps).
+            env["REPRO_CLUSTER_SECRET"] = self.secret
         command = [sys.executable, "-m", "repro", "cluster", "worker",
                    "--connect", f"{self.host}:{self.port}"]
         command.extend(extra_args)
@@ -219,6 +234,18 @@ class Coordinator:
         connection = Connection(sock)
         try:
             sock.settimeout(10.0)
+            if not self._authenticate(connection):
+                # Drain until the dialer has read the REJECT and closed:
+                # closing first can RST away the queued REJECT while the
+                # dialer's HELLO is still in flight, and it would see a
+                # reset instead of the rejection reason.
+                try:
+                    while connection.recv() is not None:
+                        pass
+                except (OSError, ProtocolError):
+                    pass
+                connection.close()
+                return
             message = connection.recv()
             sock.settimeout(None)
         except (OSError, ProtocolError):
@@ -239,6 +266,36 @@ class Coordinator:
             connection.close()
             return
         self._register_worker(connection, message)
+
+    def _authenticate(self, connection):
+        """Shared-secret gate, before HELLO/STATUS is even read.
+
+        With no secret configured this is a no-op.  Otherwise the dialer
+        must answer a fresh-nonce CHALLENGE with the right HMAC; anything
+        else (a HELLO from an unauthenticated worker, a bad MAC) is
+        rejected here, so an untrusted dialer never reaches registration.
+        """
+        if not self.secret:
+            return True
+        nonce = os.urandom(16).hex()
+        connection.send(CHALLENGE, nonce=nonce)
+        answer = connection.recv()
+        if answer is None:
+            return False
+        if answer.get("type") != AUTH:
+            reason = (f"authentication required (got {answer.get('type')!r} "
+                      f"before auth); dial with --secret")
+        elif not verify_mac(self.secret, nonce, answer.get("mac")):
+            reason = "authentication failed: wrong shared secret"
+        else:
+            return True
+        print(f"[cluster] rejecting unauthenticated dialer "
+              f"{connection.peer}: {reason}", file=sys.stderr)
+        try:
+            connection.send(REJECT, reason=reason)
+        except OSError:
+            pass
+        return False
 
     def _expected_salt(self):
         from ..jobs.cache import code_salt
@@ -296,7 +353,16 @@ class Coordinator:
                 self._events.put(
                     ("left", worker, message.get("reason", "goodbye")))
                 return
-            # HEARTBEAT (and unknown types) only refresh last_seen.
+            elif kind == HEARTBEAT:
+                # Echo heartbeats so the worker sees periodic traffic and
+                # can bound its recv timeout: a partitioned coordinator
+                # stops echoing, which is how the worker tells "idle"
+                # from "dead" instead of blocking on recv forever.
+                try:
+                    connection.send(HEARTBEAT)
+                except OSError:
+                    pass             # death surfaces via recv shortly
+            # Unknown types only refresh last_seen (forward compat).
 
     # -- scheduling ----------------------------------------------------
     def execute(self, specs, on_result):

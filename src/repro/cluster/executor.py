@@ -16,16 +16,19 @@ pool uses, so a sweep degrades to serial execution rather than failing.
 
 from __future__ import annotations
 
-from ..jobs.executor import Executor
+from ..jobs.executor import Executor, JobError
 
 
 class ClusterExecutor(Executor):
     """Run JobSpecs: dedup -> cache -> cluster workers -> ledger."""
 
     def __init__(self, coordinator, cache=None, ledger=None, timeout=None,
-                 progress=None, cost_model=None):
+                 progress=None, cost_model=None, on_failure="raise",
+                 resume_index=None, failure_report=None):
         super().__init__(jobs=1, cache=cache, ledger=ledger, timeout=timeout,
-                         progress=progress, cost_model=cost_model)
+                         progress=progress, cost_model=cost_model,
+                         on_failure=on_failure, resume_index=resume_index,
+                         failure_report=failure_report)
         self.coordinator = coordinator
         if self.coordinator.job_timeout is None:
             self.coordinator.job_timeout = timeout
@@ -45,9 +48,16 @@ class ClusterExecutor(Executor):
             if failure is None:
                 continue
             _spec, error, attempts = failure
-            metrics, wall_s = self._retry_in_parent(
-                spec, RuntimeError(f"cluster gave up after {attempts} "
-                                   f"attempt(s): {error}"))
+            try:
+                metrics, wall_s = self._retry_in_parent(
+                    spec, RuntimeError(f"cluster gave up after {attempts} "
+                                       f"attempt(s): {error}"))
+            except JobError as exhausted:
+                # Retry budget spent everywhere (workers + parent):
+                # abort or degrade to a partial result, per policy.
+                self._give_up(spec, exhausted, attempts + 1, unique,
+                              results, cached, stage="cluster")
+                continue
             self._finish_job(spec, metrics, unique, results, cached,
                              wall_s=wall_s, worker="parent",
                              status="retried", retries=attempts + 1)

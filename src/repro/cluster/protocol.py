@@ -12,27 +12,44 @@ different source tree is rejected before it can serve stale results).
 Message flow::
 
     worker                         coordinator
+      | <-- CHALLENGE {nonce} ------- |        only with a shared secret
+      | -- AUTH {mac} --------------> |        HMAC-SHA256(secret, nonce)
       | -- HELLO {worker,salt,..} --> |        register (or REJECT)
       | <-- WELCOME ----------------- |
-      | -- HEARTBEAT (periodic) ----> |        liveness
+      | -- HEARTBEAT (periodic) ----> |        liveness (echoed back)
       | <-- JOB {job_id, spec} ------ |        lease
       | -- RESULT {job_id, ok, ..} -> |        lease complete
       | <-- DRAIN ------------------- |        finish + exit
       | -- GOODBYE -----------------> |
 
     status client                  coordinator
+      | <-- CHALLENGE / -- AUTH ----- |        same gate as workers
       | -- STATUS ------------------> |
       | <-- STATUS_REPLY {...} ------ |
+
+When the coordinator holds a shared secret (``--secret`` /
+``$REPRO_CLUSTER_SECRET``) it speaks first: every accepted connection
+gets a ``CHALLENGE`` carrying a fresh nonce and must answer with the
+HMAC-SHA256 of that nonce under the secret before *any* other frame is
+processed -- an unauthenticated or wrong-secret dialer is rejected
+before its HELLO is even read.  The comparison is constant-time
+(:func:`hmac.compare_digest`); the secret itself never crosses the wire.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import os
 import socket
 import struct
 import threading
 
-PROTOCOL_VERSION = 1
+# Version 2: CHALLENGE/AUTH handshake frames + coordinator-side
+# heartbeat echo (workers use the echo to detect a dead/partitioned
+# coordinator instead of blocking forever on recv).
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame; a Metrics payload is a few KB, so anything
 #: near this is a corrupt or hostile stream, not a big result.
@@ -41,6 +58,8 @@ MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 _HEADER = struct.Struct(">I")
 
 # -- message types ----------------------------------------------------------
+CHALLENGE = "challenge"      # coordinator -> dialer: prove the shared secret
+AUTH = "auth"                # dialer -> coordinator: HMAC over the nonce
 HELLO = "hello"              # worker -> coordinator: join the registry
 WELCOME = "welcome"          # coordinator -> worker: registered
 REJECT = "reject"            # coordinator -> worker: refused (salt/version)
@@ -55,6 +74,55 @@ STATUS_REPLY = "status-reply"
 
 class ProtocolError(RuntimeError):
     """Framing violation: truncated frame, oversized frame, bad JSON."""
+
+
+class AuthenticationError(ProtocolError):
+    """Handshake authentication failed (missing or wrong shared secret)."""
+
+
+_ENV_SECRET = "REPRO_CLUSTER_SECRET"
+
+
+def default_secret():
+    """``$REPRO_CLUSTER_SECRET``, or ``None`` when auth is not configured."""
+    return os.environ.get(_ENV_SECRET) or None
+
+
+def compute_mac(secret, nonce):
+    """HMAC-SHA256 proof-of-secret over a handshake nonce (hex digest)."""
+    return hmac.new(str(secret).encode("utf-8"), str(nonce).encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def verify_mac(secret, nonce, offered):
+    """Constant-time check of an offered handshake MAC."""
+    if not isinstance(offered, str):
+        return False
+    return hmac.compare_digest(compute_mac(secret, nonce), offered)
+
+
+def authenticate_client(connection, secret):
+    """Dialer side of the shared-secret gate, before any other frame.
+
+    With a secret configured the coordinator speaks first: wait for its
+    ``CHALLENGE`` and answer with the MAC.  Raises
+    :class:`AuthenticationError` if the coordinator never challenges
+    (it is running without a secret) -- a configuration mismatch is an
+    error, not something to silently paper over.
+    """
+    if not secret:
+        return
+    challenge = connection.recv()
+    if challenge is None:
+        raise AuthenticationError(
+            "coordinator closed the connection before the auth challenge "
+            "(wrong address, or it rejected an earlier frame)")
+    if challenge.get("type") != CHALLENGE:
+        raise AuthenticationError(
+            f"a secret is configured but the coordinator sent "
+            f"{challenge.get('type')!r} instead of an auth challenge "
+            f"(is it running with --secret?)")
+    connection.send(AUTH, mac=compute_mac(secret, challenge.get("nonce")))
 
 
 def parse_address(address):
@@ -78,11 +146,25 @@ def encode(message):
 
 
 def _recv_exactly(sock, count, *, at_boundary):
-    """Read exactly ``count`` bytes; ``None`` on clean EOF at a boundary."""
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a boundary.
+
+    On a socket with a bounded timeout, an idle timeout (no bytes read
+    yet, waiting at a frame boundary) re-raises ``socket.timeout`` so the
+    caller can decide whether the peer is merely quiet or dead; a timeout
+    *mid-frame* means the stream is desynchronized (the partial bytes are
+    lost) and is promoted to :class:`ProtocolError`.
+    """
     chunks = []
     remaining = count
     while remaining:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            if at_boundary and remaining == count:
+                raise
+            raise ProtocolError(
+                f"timed out mid-frame ({count - remaining} of {count} "
+                f"bytes received); stream desynchronized") from None
         if not chunk:
             if at_boundary and remaining == count:
                 return None
@@ -145,15 +227,31 @@ class Connection:
             pass
 
 
-def query_status(address, timeout=5.0):
-    """One-shot status query against a running coordinator."""
+def query_status(address, timeout=5.0, secret=None):
+    """One-shot status query against a running coordinator.
+
+    ``secret`` defaults to ``$REPRO_CLUSTER_SECRET``; when the
+    coordinator requires authentication the challenge is answered before
+    the ``STATUS`` frame is sent.
+    """
+    if secret is None:
+        secret = default_secret()
     sock = socket.create_connection(parse_address(address), timeout=timeout)
     try:
         connection = Connection(sock)
+        authenticate_client(connection, secret)
         connection.send(STATUS)
         reply = connection.recv()
     finally:
         sock.close()
+    if reply is not None and reply.get("type") == CHALLENGE:
+        raise AuthenticationError(
+            "coordinator requires a shared secret "
+            "(--secret / $REPRO_CLUSTER_SECRET)")
+    if reply is not None and reply.get("type") == REJECT:
+        raise AuthenticationError(
+            f"coordinator rejected the status query: "
+            f"{reply.get('reason', 'no reason given')}")
     if reply is None or reply.get("type") != STATUS_REPLY:
         raise ProtocolError(f"unexpected status reply: {reply!r}")
     reply.pop("type", None)

@@ -12,6 +12,14 @@ Job exceptions are reported as ``RESULT {ok: false}`` and never kill the
 worker; a lost connection triggers bounded reconnect attempts
 (``--reconnect N``), which is also how a drained worker rejoins a new
 sweep on the same coordinator address.
+
+The socket always carries a bounded timeout: the coordinator echoes
+every heartbeat, so a healthy connection sees traffic at least every
+``heartbeat_interval`` seconds even when the worker is idle.  If no
+frame arrives for ``coordinator_timeout`` seconds the coordinator is
+declared dead (crashed mid-job, or a one-way partition swallowed its
+frames) and the worker exits nonzero with a one-line message instead of
+hanging on recv forever.
 """
 
 from __future__ import annotations
@@ -22,13 +30,14 @@ import sys
 import threading
 import time
 
-from .protocol import (Connection, DRAIN, GOODBYE, HEARTBEAT, HELLO, JOB,
-                       PROTOCOL_VERSION, ProtocolError, REJECT, RESULT,
-                       WELCOME, parse_address)
+from .protocol import (AuthenticationError, CHALLENGE, Connection, DRAIN,
+                       GOODBYE, HEARTBEAT, HELLO, JOB, PROTOCOL_VERSION,
+                       ProtocolError, REJECT, RESULT, WELCOME,
+                       authenticate_client, default_secret, parse_address)
 
 
 class WorkerRejected(RuntimeError):
-    """The coordinator refused the handshake (salt/version mismatch)."""
+    """The coordinator refused the handshake (auth/salt/version mismatch)."""
 
 
 def _default_run_job(spec):
@@ -39,17 +48,36 @@ def _default_run_job(spec):
 class Worker:
     """One worker loop; ``serve()`` blocks until drained or disconnected."""
 
+    #: Sentinel: "no secret passed, fall back to $REPRO_CLUSTER_SECRET".
+    _SECRET_FROM_ENV = object()
+
     def __init__(self, address, worker_id=None, max_jobs=None, reconnect=0,
                  reconnect_delay=0.5, heartbeat_interval=2.0, run_job=None,
-                 salt=None, quiet=None):
+                 salt=None, quiet=None, secret=_SECRET_FROM_ENV,
+                 socket_timeout=5.0, coordinator_timeout=20.0,
+                 injector=None):
         self.host, self.port = parse_address(address)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.max_jobs = max_jobs
         self.reconnect = max(0, int(reconnect))
         self.reconnect_delay = reconnect_delay
         self.heartbeat_interval = heartbeat_interval
+        # Bounded recv timeout + the staleness window after which a
+        # silent coordinator (no frames, not even heartbeat echoes) is
+        # declared dead.  The window must comfortably exceed one
+        # heartbeat round-trip; the job runner never blocks recv, so a
+        # busy worker is unaffected.
+        self.socket_timeout = socket_timeout
+        self.coordinator_timeout = max(coordinator_timeout,
+                                       3 * heartbeat_interval)
         self._run_job = run_job or _default_run_job
         self._salt = salt            # tests override; None = real code_salt()
+        if secret is Worker._SECRET_FROM_ENV:
+            secret = default_secret()
+        self.secret = secret or None
+        # Optional repro.faults.FaultInjector wrapping this worker's
+        # connection (frame drop/delay/corruption/partition injection).
+        self.injector = injector
         if quiet is None:
             quiet = os.environ.get("REPRO_PROGRESS", "") == "0"
         self.quiet = quiet
@@ -77,6 +105,11 @@ class Worker:
             except WorkerRejected as error:
                 self._log(f"rejected by coordinator: {error}")
                 return 2
+            except AuthenticationError as error:
+                # Wrong/missing secret is a config problem, not a flaky
+                # network: retrying would spam the coordinator's log.
+                self._log(f"authentication failed: {error}")
+                return 2
             except (OSError, ProtocolError) as error:
                 if attempts <= 0:
                     self._log(f"connection lost: {error}")
@@ -88,16 +121,37 @@ class Worker:
 
     def _serve_once(self):
         sock = socket.create_connection((self.host, self.port), timeout=10)
-        sock.settimeout(None)
+        # Keep a bounded timeout for the whole session (not settimeout
+        # (None)): a coordinator that dies mid-job or gets partitioned
+        # away must not hang this worker on send/recv forever.
+        sock.settimeout(self.socket_timeout)
         connection = Connection(sock)
+        if self.injector is not None:
+            connection = self.injector.wrap_connection(
+                connection, scope=self.worker_id)
+        try:
+            authenticate_client(connection, self.secret)
+        except socket.timeout:
+            # A coordinator running *without* a secret never challenges:
+            # it is silently waiting for our HELLO while we wait for its
+            # CHALLENGE.  Surface the config mismatch instead of retrying.
+            raise WorkerRejected(
+                f"no auth challenge within {self.socket_timeout:.0f}s -- "
+                f"a secret is configured here but the coordinator appears "
+                f"to run without one") from None
         connection.send(HELLO, worker=self.worker_id,
                         host=socket.gethostname(), pid=os.getpid(),
                         salt=self._code_salt(), version=PROTOCOL_VERSION)
-        reply = connection.recv()
+        reply = self._recv_bounded(connection)
         if reply is None:
             raise ProtocolError("coordinator closed during handshake")
         if reply.get("type") == REJECT:
             raise WorkerRejected(reply.get("reason", "no reason given"))
+        if reply.get("type") == CHALLENGE:
+            # We dialed without a secret and the coordinator wants one.
+            raise WorkerRejected(
+                "coordinator requires a shared secret "
+                "(--secret / $REPRO_CLUSTER_SECRET)")
         if reply.get("type") != WELCOME:
             raise ProtocolError(f"expected welcome, got {reply.get('type')!r}")
         self._log(f"connected to {self.host}:{self.port}")
@@ -107,7 +161,7 @@ class Worker:
         beat.start()
         try:
             while True:
-                message = connection.recv()
+                message = self._recv_bounded(connection)
                 if message is None:
                     raise ProtocolError("coordinator closed the connection")
                 kind = message.get("type")
@@ -128,6 +182,26 @@ class Worker:
             stop.set()
             connection.close()
 
+    def _recv_bounded(self, connection):
+        """``recv`` that tolerates idle timeouts but not a dead peer.
+
+        An idle ``socket.timeout`` at a frame boundary is normal (no
+        lease right now); but the coordinator echoes every heartbeat, so
+        going ``coordinator_timeout`` seconds without a single frame
+        means it is gone -- raise and let ``serve`` reconnect or exit
+        with a one-line message instead of blocking forever.
+        """
+        last_frame = time.monotonic()
+        while True:
+            try:
+                return connection.recv()
+            except socket.timeout:
+                quiet_s = time.monotonic() - last_frame
+                if quiet_s >= self.coordinator_timeout:
+                    raise ProtocolError(
+                        f"no traffic from coordinator for {quiet_s:.0f}s "
+                        f"(dead or partitioned)") from None
+
     # ------------------------------------------------------------------
     def _heartbeat_loop(self, connection, stop):
         while not stop.wait(self.heartbeat_interval):
@@ -138,14 +212,22 @@ class Worker:
 
     def _run_one(self, connection, message):
         from ..jobs.spec import JobSpec
+        job_id = message.get("job_id")
+        if self.injector is not None:
+            # May stall past the lease timeout or raise WorkerCrash -- a
+            # BaseException, so the `except Exception` below cannot turn
+            # a simulated hard crash into a polite failure report.
+            self.injector.worker_enter(job_id)
         start = time.perf_counter()
         try:
             metrics = self._run_job(JobSpec.from_dict(message["spec"]))
-            connection.send(RESULT, job_id=message.get("job_id"), ok=True,
+            connection.send(RESULT, job_id=job_id, ok=True,
                             metrics=metrics.to_dict(),
                             wall_s=time.perf_counter() - start)
         except Exception as error:
             # The job failed, not the worker: report and stay available.
-            connection.send(RESULT, job_id=message.get("job_id"), ok=False,
+            connection.send(RESULT, job_id=job_id, ok=False,
                             error=repr(error),
                             wall_s=time.perf_counter() - start)
+        if self.injector is not None:
+            self.injector.worker_exit(job_id)

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the sweep execution stack.
+
+``repro.faults`` wraps the seams the execution engine already exposes --
+the cluster :class:`~repro.cluster.protocol.Connection`, the worker job
+loop, the :class:`~repro.jobs.cache.ResultCache` and the JSONL
+:class:`~repro.jobs.ledger.RunLedger` -- with a schedule of injected
+faults driven by a :class:`FaultPlan` (a seed plus per-site rules).
+
+Decisions are *content-keyed*: whether a fault fires at a site is a pure
+function of ``(seed, site, identity)`` where the identity is the job key
+or spec hash, never a wall-clock or thread-interleaving artifact.  The
+same plan therefore reproduces the same fault schedule bit-identically
+across runs, no matter how the distributed races resolve -- which is
+what makes a failing chaos run replayable.  Each probabilistic fault
+fires only on the *first* occurrence of its identity, so the recovery
+path (retry, reassignment, re-simulation) is guaranteed to make
+progress.
+
+``repro chaos --seed S`` runs the whole matrix end-to-end over loopback
+(:func:`run_chaos`) and verifies the surviving sweep is bit-identical to
+a fault-free serial run.
+"""
+
+from .inject import (FaultInjector, FaultyConnection, WorkerCrash,
+                     KNOWN_SITES)
+from .plan import FaultPlan, FaultRule
+from .chaos import chaos_specs, run_chaos
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyConnection",
+    "KNOWN_SITES",
+    "WorkerCrash",
+    "chaos_specs",
+    "run_chaos",
+]

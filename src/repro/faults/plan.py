@@ -1,0 +1,120 @@
+"""Fault plans: a seed plus per-site rules, serializable into the ledger.
+
+A :class:`FaultPlan` fully determines a chaos run's fault schedule: it
+is recorded as a ledger meta record before the sweep starts, so a
+failing run can be replayed bit-identically from nothing but the ledger
+(``FaultPlan.from_dict(record["plan"])``).
+"""
+
+from __future__ import annotations
+
+#: Every injection site the engine exposes, with the degradation each
+#: fault is expected to trigger (the DESIGN.md failure matrix in code).
+KNOWN_SITES = (
+    # Connection seams (applied to job-carrying frames on send):
+    "conn.drop",        # frame vanishes -> lease timeout -> reassign
+    "conn.delay",       # frame late by `param` seconds -> still correct
+    "conn.truncate",    # partial frame + close -> peer ProtocolError
+    "conn.corrupt",     # mangled payload -> peer ProtocolError, not bad data
+    "conn.partition",   # one-way: all later sends vanish -> heartbeat death
+    # Worker seams:
+    "worker.crash-before-result",   # hard crash mid-job -> reassign
+    "worker.crash-after-result",    # crash post-send -> result still lands
+    "worker.stall",     # sleep `param` seconds -> lease timeout -> reassign
+    # Persistence seams:
+    "ledger.torn",      # append truncated mid-record -> reader skips it
+    "cache.truncate",   # entry cut short -> checksum miss -> re-simulate
+    "cache.corrupt",    # entry bit-flipped -> checksum miss -> re-simulate
+)
+
+
+class FaultRule:
+    """One site's trigger: a probability, explicit occurrences, a knob.
+
+    ``probability`` arms the content-keyed coin flip (see
+    :meth:`FaultInjector.decide`); ``at`` additionally forces the fault
+    at explicit 0-based occurrence indices of the site (deterministic
+    single-worker unit tests); ``param`` is the site-specific knob
+    (delay/stall seconds).
+    """
+
+    def __init__(self, site, probability=0.0, at=(), param=None):
+        if site not in KNOWN_SITES:
+            raise ValueError(f"unknown fault site {site!r} "
+                             f"(known: {', '.join(KNOWN_SITES)})")
+        probability = float(probability)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], "
+                             f"got {probability}")
+        self.site = site
+        self.probability = probability
+        self.at = tuple(int(index) for index in at)
+        self.param = param
+
+    def to_dict(self):
+        payload = {"site": self.site, "probability": self.probability}
+        if self.at:
+            payload["at"] = list(self.at)
+        if self.param is not None:
+            payload["param"] = self.param
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["site"], payload.get("probability", 0.0),
+                   payload.get("at", ()), payload.get("param"))
+
+    def __repr__(self):
+        return (f"FaultRule({self.site!r}, p={self.probability}"
+                + (f", at={list(self.at)}" if self.at else "")
+                + (f", param={self.param}" if self.param is not None else "")
+                + ")")
+
+
+class FaultPlan:
+    """A seed plus the rule list: the complete chaos-run schedule."""
+
+    def __init__(self, seed, rules=()):
+        self.seed = int(seed)
+        self.rules = list(rules)
+
+    def rules_for(self, site):
+        return [rule for rule in self.rules if rule.site == site]
+
+    def sites(self):
+        return sorted({rule.site for rule in self.rules})
+
+    def to_dict(self):
+        return {"seed": self.seed,
+                "rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["seed"],
+                   [FaultRule.from_dict(rule)
+                    for rule in payload.get("rules", ())])
+
+    @classmethod
+    def standard(cls, seed, stall_seconds=3.0, delay_seconds=0.2):
+        """The default chaos matrix: every site armed at moderate odds.
+
+        Probabilities are tuned so a handful of specs hit a meaningful
+        mix of faults without one unlucky job exhausting a retry budget
+        (each probabilistic fault fires at most once per job identity).
+        """
+        return cls(seed, [
+            FaultRule("conn.drop", 0.25),
+            FaultRule("conn.delay", 0.50, param=delay_seconds),
+            FaultRule("conn.truncate", 0.25),
+            FaultRule("conn.corrupt", 0.25),
+            FaultRule("conn.partition", 0.15),
+            FaultRule("worker.crash-before-result", 0.30),
+            FaultRule("worker.crash-after-result", 0.30),
+            FaultRule("worker.stall", 0.20, param=stall_seconds),
+            FaultRule("ledger.torn", 0.35),
+            FaultRule("cache.truncate", 0.35),
+            FaultRule("cache.corrupt", 0.35),
+        ])
+
+    def __repr__(self):
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"

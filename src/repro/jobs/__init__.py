@@ -9,10 +9,11 @@ job to a JSONL run ledger.  The figure code in
 returned metrics.
 """
 
-from .cache import NullCache, ResultCache, code_salt, default_cache_dir
+from .cache import (NullCache, ResultCache, code_salt, default_cache_dir,
+                    metrics_checksum)
 from .context import (ExecutionContext, close_context, configure,
                       get_context, run_specs, set_context)
-from .executor import Executor, JobError, ProgressLine
+from .executor import Executor, JobError, ProgressLine, SweepFailureReport
 from .ledger import NullLedger, RunLedger
 from .spec import JobSpec
 
@@ -26,11 +27,13 @@ __all__ = [
     "ProgressLine",
     "ResultCache",
     "RunLedger",
+    "SweepFailureReport",
     "close_context",
     "code_salt",
     "configure",
     "default_cache_dir",
     "get_context",
+    "metrics_checksum",
     "run_specs",
     "set_context",
 ]

@@ -9,6 +9,11 @@ The *salt* is a hash over every ``repro`` source file, so any code change
 invalidates previous results wholesale -- stale entries from older builds
 can never satisfy a lookup.  Entries are written atomically (temp file +
 rename) so concurrent executors on the same cache directory are safe.
+
+Every entry carries a sha256 checksum over its canonical metrics JSON:
+a torn write, bit rot, or a hand-edited file degrades to a cache *miss*
+(the spec is simply re-simulated) instead of crashing the executor or
+silently feeding a sweep wrong ``Metrics``.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _code_salt = None
@@ -51,6 +57,13 @@ def code_salt():
     return _code_salt
 
 
+def metrics_checksum(metrics_dict):
+    """sha256 over the canonical JSON form of a metrics dict."""
+    blob = json.dumps(metrics_dict, sort_keys=True,
+                      separators=(",", ":"), default=list)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Maps :class:`~repro.jobs.spec.JobSpec` -> cached ``Metrics``."""
 
@@ -60,27 +73,65 @@ class ResultCache:
         self.results_dir = os.path.join(self.cache_dir, "results", self.salt)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0             # entries rejected by checksum/schema
 
     def _path(self, spec):
         return os.path.join(self.results_dir, f"{spec.key}.json")
 
+    def _reject(self, spec, reason):
+        """Corrupt entry: count it, warn, drop the file, miss."""
+        self.corrupt += 1
+        self.misses += 1
+        warnings.warn(f"cache entry {spec.key}.json is corrupt ({reason}); "
+                      f"treating as a miss and re-simulating",
+                      RuntimeWarning, stacklevel=3)
+        try:
+            os.unlink(self._path(spec))
+        except OSError:
+            pass                     # concurrent eviction, read-only dir
+        return None
+
     def get(self, spec):
-        """Cached :class:`Metrics` for ``spec``, or ``None``."""
+        """Cached :class:`Metrics` for ``spec``, or ``None``.
+
+        Any defect -- unreadable JSON, a missing or mismatching
+        checksum, or a payload ``Metrics.from_dict`` cannot rebuild --
+        degrades to a miss (the entry is discarded so the next ``put``
+        replaces it), never an exception and never wrong metrics.
+        """
         # Lazy import: repro.harness pulls in this package at import time.
         from ..harness.metrics import Metrics
         try:
             with open(self._path(spec)) as handle:
                 payload = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
             return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return self._reject(spec, "undecodable JSON")
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            return self._reject(spec, "no metrics payload")
+        recorded = payload.get("sha256")
+        actual = metrics_checksum(payload["metrics"])
+        if recorded != actual:
+            return self._reject(
+                spec, "checksum mismatch" if recorded else "no checksum")
+        try:
+            metrics = Metrics.from_dict(payload["metrics"])
+        except Exception as error:
+            # Valid JSON, right checksum, but a schema the current code
+            # cannot rebuild (should be impossible within one salt
+            # generation -- defend anyway).
+            return self._reject(spec, f"schema mismatch: {error!r}")
         self.hits += 1
-        return Metrics.from_dict(payload["metrics"])
+        return metrics
 
     def put(self, spec, metrics):
         """Persist ``metrics`` atomically; concurrent writers are safe."""
         os.makedirs(self.results_dir, exist_ok=True)
-        payload = {"spec": spec.to_dict(), "metrics": metrics.to_dict()}
+        metrics_dict = metrics.to_dict()
+        payload = {"spec": spec.to_dict(), "metrics": metrics_dict,
+                   "sha256": metrics_checksum(metrics_dict)}
         fd, tmp_path = tempfile.mkstemp(dir=self.results_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -113,6 +164,7 @@ class ResultCache:
             "generations": generations,
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_corrupt": self.corrupt,
         }
 
     def prune(self):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import os
 
 from .cache import NullCache, ResultCache, default_cache_dir
-from .executor import Executor
+from .executor import Executor, SweepFailureReport
 from .ledger import NullLedger, RunLedger
 
 _context = None
@@ -22,7 +22,8 @@ class ExecutionContext:
     """Everything an :class:`Executor` needs, built once per process."""
 
     def __init__(self, jobs=1, cache_dir=None, no_cache=False, timeout=None,
-                 ledger_path=None, backend="local", cluster=None):
+                 ledger_path=None, backend="local", cluster=None,
+                 resume=False, on_failure="raise"):
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir or default_cache_dir()
         self.no_cache = bool(no_cache)
@@ -41,18 +42,43 @@ class ExecutionContext:
         #: Cluster options: ``bind`` ("HOST:PORT", port 0 = ephemeral),
         #: ``workers`` (loopback subprocesses to spawn; 0 = wait for
         #: external ``repro cluster worker --connect`` processes),
-        #: ``connect_timeout`` (seconds to wait for the first worker).
+        #: ``connect_timeout`` (seconds to wait for the first worker),
+        #: ``secret`` (shared handshake secret; default
+        #: ``$REPRO_CLUSTER_SECRET``).
         self.cluster_options = dict(cluster or {})
+        #: ``repro sweep --resume``: replay specs the ledger already
+        #: records as completed, dispatching only the remainder.  The
+        #: index is snapshotted once per context so mid-sweep appends
+        #: don't shift the baseline.
+        self.resume = bool(resume)
+        self._resume_index = None
+        #: Failure policy shared by every executor this context builds:
+        #: "report" collects exhausted jobs in ``failure_report`` and
+        #: returns partial results instead of raising mid-sweep.
+        self.on_failure = on_failure
+        self.failure_report = SweepFailureReport()
         self._coordinator = None
+
+    def resume_index(self):
+        if not self.resume:
+            return None
+        if self._resume_index is None:
+            self._resume_index = RunLedger.completed_index(self.ledger_path)
+        return self._resume_index
 
     def executor(self):
         if self.backend == "cluster":
             from ..cluster import ClusterExecutor
             return ClusterExecutor(self._ensure_coordinator(),
                                    cache=self.cache, ledger=self.ledger,
-                                   timeout=self.timeout)
+                                   timeout=self.timeout,
+                                   on_failure=self.on_failure,
+                                   resume_index=self.resume_index(),
+                                   failure_report=self.failure_report)
         return Executor(jobs=self.jobs, cache=self.cache, ledger=self.ledger,
-                        timeout=self.timeout)
+                        timeout=self.timeout, on_failure=self.on_failure,
+                        resume_index=self.resume_index(),
+                        failure_report=self.failure_report)
 
     def _ensure_coordinator(self):
         """Start the coordinator (and loopback workers) on first use."""
@@ -63,8 +89,11 @@ class ExecutionContext:
             from ..cluster.protocol import parse_address
             host, port = parse_address(
                 self.cluster_options.get("bind") or "127.0.0.1:0")
+            kwargs = {}
+            if "secret" in self.cluster_options:
+                kwargs["secret"] = self.cluster_options["secret"]
             coordinator = Coordinator(host=host, port=port,
-                                      job_timeout=self.timeout)
+                                      job_timeout=self.timeout, **kwargs)
             coordinator.start()
             workers = int(self.cluster_options.get("workers", 0))
             if workers:

@@ -35,6 +35,15 @@ def _execute_payload(payload):
             "worker": os.getpid()}
 
 
+def _spec_config_digest(spec):
+    """Stable SimConfig digest for resume matching (None = unavailable)."""
+    try:
+        from ..config import config_digest
+        return config_digest(spec.config)
+    except Exception:
+        return None
+
+
 class ProgressLine:
     """Live ``[12/60] bfs_KR dvr ... 3 cached`` line on stderr.
 
@@ -78,40 +87,109 @@ class JobError(RuntimeError):
     """A job failed twice (initial attempt + one retry)."""
 
 
+class SweepFailureReport:
+    """Structured record of every job a sweep gave up on.
+
+    With ``on_failure="report"`` an executor appends one entry per
+    exhausted job -- spec identity, the final error, and how many
+    attempts it took -- instead of raising mid-sweep, so a long sweep
+    returns its partial results plus an auditable account of the holes.
+    """
+
+    def __init__(self):
+        self.failures = []
+
+    def add(self, spec, error, attempts, stage):
+        self.failures.append({
+            "key": spec.key,
+            "label": spec.label,
+            "workload": spec.workload,
+            "technique": spec.technique,
+            "error": str(error),
+            "attempts": int(attempts),
+            # Where the sweep gave up: "parent" (the in-process retry
+            # also failed) or "cluster" (retry budget / workers gone).
+            "stage": stage,
+        })
+
+    def __len__(self):
+        return len(self.failures)
+
+    def __bool__(self):
+        return bool(self.failures)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def to_dict(self):
+        return {"failed_jobs": len(self.failures),
+                "failures": list(self.failures)}
+
+    def render(self):
+        if not self.failures:
+            return "sweep failure report: all jobs completed"
+        lines = [f"sweep failure report: {len(self.failures)} job(s) "
+                 f"exhausted their retry budget"]
+        for failure in self.failures:
+            lines.append(
+                f"  {failure['label']}/{failure['technique']} "
+                f"[{failure['key'][:8]}] after {failure['attempts']} "
+                f"attempt(s) ({failure['stage']}): {failure['error']}")
+        return "\n".join(lines)
+
+
 class Executor:
     """Run JobSpecs: dedup -> cache -> (pool | serial) -> ledger."""
 
     def __init__(self, jobs=1, cache=None, ledger=None, timeout=None,
-                 progress=None, cost_model=None):
+                 progress=None, cost_model=None, on_failure="raise",
+                 resume_index=None, failure_report=None):
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else NullCache()
         self.ledger = ledger if ledger is not None else NullLedger()
         self.timeout = timeout        # per-job seconds, None = unlimited
         self.progress = progress if progress is not None else ProgressLine()
         self.cost_model = cost_model  # None = learn from the ledger lazily
+        if on_failure not in ("raise", "report"):
+            raise ValueError(f"on_failure must be 'raise' or 'report', "
+                             f"got {on_failure!r}")
+        #: "raise": a twice-failed job aborts the sweep with JobError
+        #: (the historical contract).  "report": the job's result slot
+        #: becomes None and the failure lands in ``failure_report``.
+        self.on_failure = on_failure
+        #: ``key -> ledger record`` of already-completed specs (from
+        #: ``RunLedger.completed_index``); their cached metrics are
+        #: replayed without dispatch (``repro sweep --resume``).
+        self.resume_index = resume_index or {}
+        self.failure_report = (failure_report if failure_report is not None
+                               else SweepFailureReport())
 
     # ------------------------------------------------------------------
     def run(self, specs):
         """Execute ``specs``; returns Metrics aligned with the input order.
 
-        Specs sharing a content key are simulated once.
+        Specs sharing a content key are simulated once.  With
+        ``on_failure="report"``, a job that exhausts its retries yields
+        ``None`` in its result slot(s) and an entry in
+        ``self.failure_report`` instead of raising.
         """
         start = time.perf_counter()
         unique = {}
         for spec in specs:
             unique.setdefault(spec.key, spec)
 
-        results = {}                  # key -> Metrics
+        results = {}                  # key -> Metrics (None = gave up)
         cached = 0
         pending = []
         for key, spec in unique.items():
             lookup_start = time.perf_counter()
-            metrics = self.cache.get(spec)
+            metrics, disposition = self._lookup(spec)
             if metrics is not None:
                 results[key] = metrics
                 cached += 1
                 self.ledger.record(
-                    spec, cache="hit", worker="parent",
+                    spec, cache=disposition, worker="parent",
                     wall_s=time.perf_counter() - lookup_start,
                     metrics=metrics)
                 self.progress.update(len(results), len(unique), spec, cached)
@@ -124,6 +202,31 @@ class Executor:
         self.progress.finish(len(unique), cached,
                              time.perf_counter() - start)
         return [results[spec.key] for spec in specs]
+
+    def _lookup(self, spec):
+        """Cache lookup for one spec -> (metrics, ledger disposition).
+
+        A spec the resume index marks as completed is replayed from the
+        cache with disposition ``"resume"`` so ledger inspection can
+        prove an interrupted sweep only dispatched the remainder.  A
+        resume entry whose bytes are gone (pruned or corrupt cache)
+        degrades to a normal re-dispatch with a warning.
+        """
+        record = self.resume_index.get(spec.key)
+        if record is not None:
+            digest = _spec_config_digest(spec)
+            if digest is None or record.get("config_digest") == digest:
+                metrics = self.cache.get(spec)
+                if metrics is not None:
+                    return metrics, "resume"
+                import warnings
+                warnings.warn(
+                    f"resume: {spec.label}/{spec.technique} "
+                    f"[{spec.key[:8]}] is completed in the ledger but "
+                    f"missing from the result cache; re-dispatching",
+                    RuntimeWarning, stacklevel=3)
+                return None, "hit"
+        return self.cache.get(spec), "hit"
 
     # ------------------------------------------------------------------
     def _run_pending(self, pending, unique, results, cached):
@@ -170,6 +273,20 @@ class Executor:
                 f"{error!r}, then {retry_error!r}") from retry_error
         return metrics, time.perf_counter() - start
 
+    def _give_up(self, spec, error, attempts, unique, results, cached, *,
+                 stage="parent"):
+        """A job exhausted every retry.  Raise or report, per policy.
+
+        The ledger already carries the final ``status="failed"`` record
+        (written by :meth:`_retry_in_parent`); this only decides whether
+        the sweep dies or degrades to a partial result.
+        """
+        if self.on_failure == "raise":
+            raise error
+        self.failure_report.add(spec, error, attempts, stage)
+        results[spec.key] = None
+        self.progress.update(len(results), len(unique), spec, cached)
+
     def _run_serial(self, pending, unique, results, cached):
         from ..harness.runner import run_spec
         for spec in pending:
@@ -179,7 +296,11 @@ class Executor:
                 status = "ok"
                 retries = 0
             except Exception as error:
-                metrics, _ = self._retry_in_parent(spec, error)
+                try:
+                    metrics, _ = self._retry_in_parent(spec, error)
+                except JobError as failure:
+                    self._give_up(spec, failure, 2, unique, results, cached)
+                    continue
                 status = "retried"
                 retries = 1
             self._finish_job(spec, metrics, unique, results, cached,
@@ -207,7 +328,12 @@ class Executor:
                     # exception raised inside the job: one retry, in the
                     # parent so a poisoned pool can't eat it too.
                     future.cancel()
-                    metrics, wall_s = self._retry_in_parent(spec, error)
+                    try:
+                        metrics, wall_s = self._retry_in_parent(spec, error)
+                    except JobError as failure:
+                        self._give_up(spec, failure, 2, unique, results,
+                                      cached)
+                        continue
                     self._finish_job(spec, metrics, unique, results, cached,
                                      wall_s=wall_s, worker="parent",
                                      status="retried", retries=1)

@@ -86,10 +86,47 @@ class RunLedger:
         if error is not None:
             entry["error"] = error
         self._seq += 1
+        self._append(entry)
+        return entry
+
+    def record_meta(self, kind, **payload):
+        """Append a non-job *meta* record (e.g. a chaos run's FaultPlan).
+
+        Meta records carry ``{"meta": kind}`` and deliberately no
+        ``key``/``cache``/``status`` fields, so every job-record consumer
+        (cost model, ledger reports, resume) skips them structurally.
+        """
+        entry = {"meta": kind, "ts": time.time()}
+        entry.update(payload)
+        self._append(entry)
+        return entry
+
+    def _append(self, entry):
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         with open(self.path, "a") as handle:
             handle.write(json.dumps(entry) + "\n")
-        return entry
+
+    @staticmethod
+    def completed_index(path):
+        """``key -> latest completed record`` for resumable sweeps.
+
+        A spec counts as completed when its most recent record carries
+        headline metrics (``ipc``) and a non-failed status -- exactly the
+        records :meth:`record` writes after a successful simulation or
+        cache hit.  Later failures override earlier successes record-by-
+        record, so a key that succeeded once and was never re-run stays
+        completed.
+        """
+        completed = {}
+        for record in RunLedger.read(path):
+            key = record.get("key")
+            if not key:
+                continue                    # meta or malformed record
+            if record.get("status") != "failed" and "ipc" in record:
+                completed[key] = record
+            else:
+                completed.pop(key, None)
+        return completed
 
     @staticmethod
     def read(path):
@@ -121,4 +158,7 @@ class NullLedger:
     """Ledger stand-in when no ledger path is configured."""
 
     def record(self, spec, **kwargs):
+        return None
+
+    def record_meta(self, kind, **payload):
         return None

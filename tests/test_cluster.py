@@ -20,8 +20,8 @@ import time
 import pytest
 
 from repro.config import SimConfig, TECH_DVR, TECH_OOO
-from repro.cluster import (ClusterExecutor, Coordinator, CostModel,
-                           ProtocolError, Worker, cost_model_for,
+from repro.cluster import (AuthenticationError, ClusterExecutor, Coordinator,
+                           CostModel, ProtocolError, Worker, cost_model_for,
                            longest_first, parse_address, query_status)
 from repro.cluster import protocol
 from repro.jobs import (Executor, JobSpec, NullCache, NullLedger,
@@ -379,6 +379,191 @@ class TestFaultTolerance:
             assert {r["worker"] for r in records} == {"revolving-w"}
         finally:
             stop.set()
+
+
+# ---------------------------------------------------------------------------
+# Shared-secret handshake authentication
+# ---------------------------------------------------------------------------
+class TestAuth:
+    SECRET = "s3cret-handshake"
+
+    @pytest.fixture
+    def secured(self):
+        coordinator = Coordinator(job_timeout=120, retry_base=0.05,
+                                  retry_cap=0.2, worker_grace=30.0,
+                                  secret=self.SECRET)
+        coordinator.start()
+        yield coordinator
+        coordinator.close()
+
+    def test_mac_helpers_are_constant_time_hmac(self):
+        mac = protocol.compute_mac(self.SECRET, "nonce-1")
+        assert protocol.verify_mac(self.SECRET, "nonce-1", mac)
+        assert not protocol.verify_mac(self.SECRET, "nonce-2", mac)
+        assert not protocol.verify_mac("other", "nonce-1", mac)
+        assert not protocol.verify_mac(self.SECRET, "nonce-1", None)
+
+    def test_authenticated_worker_joins_and_serves(self, secured, tmp_path):
+        from repro.harness.runner import run_spec
+        _thread_worker(secured, run_job=run_spec, worker_id="auth-w",
+                       secret=self.SECRET)
+        secured.wait_for_workers(1, timeout=10)
+        results = _cluster_executor(secured, tmp_path).run([_spec()])
+        assert results[0].cycles > 0
+        record = RunLedger.read(str(tmp_path / "runs.jsonl"))[-1]
+        assert record["worker"] == "auth-w"
+
+    def test_worker_without_secret_rejected_before_hello(self, secured):
+        worker = Worker(f"127.0.0.1:{secured.port}", secret=None,
+                        reconnect=0, quiet=True)
+        assert worker.serve() == 2
+        assert secured.live_workers() == []
+
+    def test_worker_with_wrong_secret_rejected(self, secured):
+        worker = Worker(f"127.0.0.1:{secured.port}", secret="not-it",
+                        reconnect=0, quiet=True)
+        assert worker.serve() == 2
+        assert secured.live_workers() == []
+
+    def test_status_query_requires_the_secret(self, secured):
+        address = f"127.0.0.1:{secured.port}"
+        with pytest.raises(AuthenticationError):
+            query_status(address, secret="wrong-secret")
+        info = query_status(address, secret=self.SECRET)
+        assert info["workers"] == []
+
+    def test_cli_status_wrong_secret_exits_nonzero(self, secured, capsys):
+        from repro.__main__ import main
+        code = main(["cluster", "status",
+                     "--connect", f"127.0.0.1:{secured.port}",
+                     "--secret", "wrong-secret"])
+        assert code == 1
+        assert "cluster status:" in capsys.readouterr().err
+
+    def test_secretless_worker_against_secretless_coordinator(self,
+                                                              monkeypatch):
+        """Explicit secret=None disables auth on both ends regardless of
+        the environment (the env fallback is only for unset secrets)."""
+        monkeypatch.delenv("REPRO_CLUSTER_SECRET", raising=False)
+        coordinator = Coordinator(worker_grace=5.0, secret=None)
+        coordinator.start()
+        try:
+            from repro.harness.runner import run_spec
+            _thread_worker(coordinator, run_job=run_spec,
+                           worker_id="open-w", secret=None)
+            coordinator.wait_for_workers(1, timeout=10)
+        finally:
+            coordinator.close()
+
+
+# ---------------------------------------------------------------------------
+# Resume + failure-report degradation
+# ---------------------------------------------------------------------------
+class _AbortAfter:
+    """Progress hook simulating a SIGKILL'd parent mid-sweep."""
+
+    def __init__(self, results):
+        self.results = results
+
+    def update(self, done, total, spec, cached):
+        if done >= self.results:
+            raise KeyboardInterrupt
+
+    def finish(self, total, cached, wall_s):
+        pass
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_dispatching_only_remainder(
+            self, coordinator, tmp_path):
+        from repro.harness.runner import run_spec
+        _thread_worker(coordinator, run_job=run_spec, worker_id="resume-w")
+        coordinator.wait_for_workers(1, timeout=10)
+        specs = _sweep_specs(6)
+        serial = Executor(jobs=1, cache=NullCache()).run(specs)
+        path = str(tmp_path / "runs.jsonl")
+
+        # Sweep dies (parent killed) after three results are recorded.
+        with pytest.raises(KeyboardInterrupt):
+            ClusterExecutor(coordinator, cache=ResultCache(str(tmp_path)),
+                            ledger=RunLedger(path),
+                            progress=_AbortAfter(3)).run(specs)
+        interrupted = RunLedger.read(path)
+        assert len(interrupted) == 3
+
+        # --resume: completed specs replay from the ledger + cache;
+        # only the remainder is dispatched to workers.
+        resumed = ClusterExecutor(
+            coordinator, cache=ResultCache(str(tmp_path)),
+            ledger=RunLedger(path),
+            resume_index=RunLedger.completed_index(path)).run(specs)
+        for expected, actual in zip(serial, resumed):
+            assert json.dumps(actual.to_dict(), sort_keys=True) == \
+                json.dumps(expected.to_dict(), sort_keys=True)
+        completed_keys = {record["key"] for record in interrupted}
+        replay = RunLedger.read(path)[3:]
+        assert len(replay) == 6
+        by_key = {record["key"]: record for record in replay}
+        for key, record in by_key.items():
+            if key in completed_keys:
+                assert record["cache"] == "resume"
+                assert record["worker"] == "parent"
+            else:
+                assert record["cache"] == "miss"
+                assert record["worker"] == "resume-w"
+
+    def test_resume_with_missing_cache_bytes_redispatches(self, tmp_path):
+        specs = [_spec(seed=71), _spec(seed=72)]
+        path = str(tmp_path / "runs.jsonl")
+        Executor(jobs=1, cache=ResultCache(str(tmp_path)),
+                 ledger=RunLedger(path)).run(specs)
+        index = RunLedger.completed_index(path)
+        assert set(index) == {spec.key for spec in specs}
+        # The cache is wiped (pruned/host change): resume must degrade
+        # to re-dispatch with a warning, not crash or serve nothing.
+        fresh_cache = ResultCache(str(tmp_path / "elsewhere"))
+        with pytest.warns(RuntimeWarning, match="missing from the result "
+                                                "cache"):
+            results = Executor(jobs=1, cache=fresh_cache,
+                               ledger=RunLedger(path),
+                               resume_index=index).run(specs)
+        assert all(metrics.cycles > 0 for metrics in results)
+
+
+class TestFailureReport:
+    def test_exhausted_sweep_returns_partial_results(self, tmp_path):
+        coordinator = Coordinator(worker_grace=0.2, retry_base=0.01)
+        coordinator.start()
+        try:
+            path = str(tmp_path / "runs.jsonl")
+            executor = ClusterExecutor(coordinator, cache=NullCache(),
+                                       ledger=RunLedger(path),
+                                       on_failure="report")
+            good, bad = _spec(seed=81), _spec(workload="no-such-workload")
+            results = executor.run([good, bad])
+            assert results[0].cycles > 0        # partial results survive
+            assert results[1] is None
+            report = executor.failure_report
+            assert not report.ok and len(report) == 1
+            failure = report.failures[0]
+            assert failure["key"] == bad.key
+            assert failure["stage"] == "cluster"
+            assert failure["attempts"] >= 1
+            assert "exhausted" in report.render()
+        finally:
+            coordinator.close()
+
+    def test_on_failure_raise_remains_the_default_contract(self, tmp_path):
+        coordinator = Coordinator(worker_grace=0.2, retry_base=0.01)
+        coordinator.start()
+        try:
+            from repro.jobs import JobError
+            executor = ClusterExecutor(coordinator, cache=NullCache(),
+                                       ledger=NullLedger())
+            with pytest.raises(JobError):
+                executor.run([_spec(workload="no-such-workload")])
+        finally:
+            coordinator.close()
 
 
 # ---------------------------------------------------------------------------

@@ -49,11 +49,20 @@ def make_executor(backend, tmp_path):
     """Factory building an executor of the requested backend.
 
     ``run_job`` (cluster only) injects worker-side behaviour; other
-    backends ignore it and run the real simulator.
+    backends ignore it and run the real simulator.  ``injector``
+    (a ``repro.faults.FaultInjector``) arms worker/connection fault
+    sites on the cluster backend; persistence-seam faults apply to every
+    backend through the wrapped cache/ledger the caller passes in.
     """
-    coordinators = []
+    import threading
 
-    def factory(cache=None, ledger=None, run_job=None, workers=2):
+    from repro.faults import WorkerCrash
+
+    coordinators = []
+    stop = threading.Event()
+
+    def factory(cache=None, ledger=None, run_job=None, workers=2,
+                injector=None):
         cache = cache if cache is not None else NullCache()
         ledger_obj = ledger
         if backend == "serial":
@@ -62,21 +71,42 @@ def make_executor(backend, tmp_path):
         if backend == "pool":
             return Executor(jobs=2, cache=cache, ledger=ledger_obj,
                             progress=_Quiet())
-        coordinator = Coordinator(job_timeout=120, retry_base=0.05,
-                                  retry_cap=0.2, worker_grace=30.0)
+        # Injected faults (dropped results, crashes) need the lease
+        # timeout + heartbeat machinery to actually run, not sit out a
+        # 120s timeout.
+        coordinator = Coordinator(
+            job_timeout=2.0 if injector is not None else 120,
+            heartbeat_timeout=2.5 if injector is not None else 15.0,
+            retry_base=0.05, retry_cap=0.2, max_attempts=8,
+            worker_grace=30.0)
         coordinator.start()
         coordinators.append(coordinator)
-        import threading
+
+        def serve_loop(worker_id):
+            # With faults armed, crashed/partitioned workers rejoin like
+            # a supervised fleet; without, one serve() call as before.
+            while not stop.is_set():
+                worker = Worker(f"127.0.0.1:{coordinator.port}",
+                                worker_id=worker_id,
+                                run_job=run_job or run_spec,
+                                injector=injector, quiet=True,
+                                heartbeat_interval=0.5, reconnect=0)
+                try:
+                    code = worker.serve()
+                except WorkerCrash:
+                    continue
+                if injector is None or code == 2:
+                    return
+
         for index in range(workers):
-            worker = Worker(f"127.0.0.1:{coordinator.port}",
-                            worker_id=f"w{index}",
-                            run_job=run_job or run_spec)
-            threading.Thread(target=worker.serve, daemon=True).start()
+            threading.Thread(target=serve_loop, args=(f"w{index}",),
+                             daemon=True).start()
         coordinator.wait_for_workers(workers, timeout=10)
         return ClusterExecutor(coordinator, cache=cache, ledger=ledger_obj,
                                progress=_Quiet())
 
     yield factory
+    stop.set()
     for coordinator in coordinators:
         coordinator.close()
 
@@ -155,6 +185,55 @@ def test_cached_vs_executed_accounting(make_executor, tmp_path):
     assert all(record["worker"] == "parent" for record in hits)
     assert [_dumps(metrics) for metrics in second[:2]] == \
         [_dumps(metrics) for metrics in first]
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: a fixed FaultPlan must not change the answers
+# ---------------------------------------------------------------------------
+def test_fixed_fault_plan_yields_bit_identical_metrics(make_executor,
+                                                       backend, tmp_path):
+    """Every backend survives the same armed fault plan bit-identically.
+
+    Serial/pool exercise the persistence seams (corrupt cache entries,
+    torn ledger appends); cluster additionally takes dropped result
+    frames and worker crashes.  The contract is that none of it changes
+    a single output bit — faults only cost retries.
+    """
+    import warnings
+
+    from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+    plan = FaultPlan(2024, [
+        FaultRule("cache.corrupt", 1.0),
+        FaultRule("ledger.torn", 0.5),
+        FaultRule("conn.drop", 0.4),
+        FaultRule("worker.crash-before-result", 0.4),
+    ])
+    injector = FaultInjector(plan)
+    cache = injector.wrap_cache(ResultCache(str(tmp_path / "cache")))
+    ledger = injector.wrap_ledger(RunLedger(str(tmp_path / "runs.jsonl")))
+    specs = [_spec(seed=61), _spec(workload="kangaroo", seed=62),
+             _spec(technique=TECH_DVR, seed=63)]
+    expected = [_dumps(run_spec(spec)) for spec in specs]
+
+    executor = make_executor(cache=cache, ledger=ledger, injector=injector)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        results = executor.run(specs)
+    assert [_dumps(metrics) for metrics in results] == expected
+
+    # Same plan, fresh injector: the persistence faults already fired
+    # for these identities, so the schedule replays without re-firing
+    # randomly — and the damaged cache degrades to a miss, not an error.
+    replay = FaultInjector(plan)
+    cache2 = replay.wrap_cache(ResultCache(str(tmp_path / "cache")))
+    ledger2 = replay.wrap_ledger(RunLedger(str(tmp_path / "runs.jsonl")))
+    executor = make_executor(cache=cache2, ledger=ledger2, injector=replay)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        again = executor.run(specs)
+    assert [_dumps(metrics) for metrics in again] == expected
+    assert replay.schedule()                     # faults did fire again
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,255 @@
+"""Tests for ``repro.faults``: deterministic fault injection.
+
+Covers the FaultPlan schema and serialization, the content-keyed
+decision core (same seed -> same schedule; first occurrence only, so
+retries converge), each seam wrapper (connection, cache, ledger)
+degrading exactly as the DESIGN failure matrix promises, and the
+``repro chaos`` runner reproducing an identical fault schedule from the
+same seed while staying bit-identical to a fault-free baseline.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+
+import pytest
+
+from repro.cluster.protocol import Connection, ProtocolError, recv_message
+from repro.config import SimConfig, TECH_OOO
+from repro.faults import (FaultInjector, FaultPlan, FaultRule, KNOWN_SITES,
+                          WorkerCrash, chaos_specs, run_chaos)
+from repro.harness.runner import run_spec
+from repro.jobs import JobSpec, ResultCache, RunLedger
+
+
+def _spec(seed=1, workload="nas-is", max_instructions=1_200):
+    return JobSpec(workload=workload, params={},
+                   config=SimConfig(max_instructions=max_instructions
+                                    ).with_technique(TECH_OOO), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Plan schema
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("conn.teleport", 0.5)
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("conn.drop", 1.5)
+
+    def test_round_trip_through_dict(self):
+        plan = FaultPlan.standard(42)
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.seed == 42
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert rebuilt.sites() == plan.sites()
+
+    def test_standard_plan_arms_every_site(self):
+        assert FaultPlan.standard(1).sites() == sorted(KNOWN_SITES)
+
+
+# ---------------------------------------------------------------------------
+# Decision core
+# ---------------------------------------------------------------------------
+class TestInjectorDeterminism:
+    PLAN = {"seed": 7, "rules": [{"site": "conn.drop", "probability": 0.5},
+                                 {"site": "ledger.torn",
+                                  "probability": 0.5}]}
+
+    def test_same_seed_same_decisions(self):
+        idents = [f"job-{n}" for n in range(40)]
+        first = [FaultInjector(FaultPlan.from_dict(self.PLAN))
+                 .decide("conn.drop", ident) is not None
+                 for ident in idents]
+        second = [FaultInjector(FaultPlan.from_dict(self.PLAN))
+                  .decide("conn.drop", ident) is not None
+                  for ident in idents]
+        assert first == second
+        assert any(first) and not all(first)      # p=0.5 actually mixes
+
+    def test_decision_is_site_scoped(self):
+        injector = FaultInjector(FaultPlan.from_dict(self.PLAN))
+        drops = {ident for ident in (f"j{n}" for n in range(40))
+                 if injector.decide("conn.drop", ident)}
+        injector2 = FaultInjector(FaultPlan.from_dict(self.PLAN))
+        tears = {ident for ident in (f"j{n}" for n in range(40))
+                 if injector2.decide("ledger.torn", ident)}
+        assert drops != tears                      # independent streams
+
+    def test_fires_once_per_identity_so_retries_converge(self):
+        plan = FaultPlan(1, [FaultRule("conn.drop", 1.0)])
+        injector = FaultInjector(plan)
+        assert injector.decide("conn.drop", "job-a") is not None
+        assert injector.decide("conn.drop", "job-a") is None   # the retry
+        assert injector.decide("conn.drop", "job-b") is not None
+
+    def test_explicit_occurrence_triggers(self):
+        plan = FaultPlan(1, [FaultRule("conn.drop", 0.0, at=(2,))])
+        injector = FaultInjector(plan)
+        fired = [injector.decide("conn.drop", "same") is not None
+                 for _ in range(4)]
+        assert fired == [False, False, True, False]
+
+    def test_schedule_is_canonical(self):
+        plan = FaultPlan(1, [FaultRule("conn.drop", 1.0)])
+        injector = FaultInjector(plan)
+        injector.decide("conn.drop", "z")
+        injector.decide("conn.drop", "a")
+        assert injector.schedule() == ["conn.drop:a", "conn.drop:z"]
+        assert injector.summary() == {"conn.drop": 2}
+
+    def test_worker_crash_escapes_exception_handlers(self):
+        plan = FaultPlan(1, [FaultRule("worker.crash-before-result", 1.0)])
+        injector = FaultInjector(plan)
+        with pytest.raises(WorkerCrash):
+            try:
+                injector.worker_enter("job-a")
+            except Exception:            # a worker's job-failure handler
+                pytest.fail("WorkerCrash must not be a plain Exception")
+
+
+# ---------------------------------------------------------------------------
+# Connection seam
+# ---------------------------------------------------------------------------
+def _tcp_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    peer, _addr = server.accept()
+    server.close()
+    return client, peer
+
+
+def _faulty(rule):
+    injector = FaultInjector(FaultPlan(1, [rule]))
+    client, peer = _tcp_pair()
+    return injector.wrap_connection(Connection(client)), peer
+
+
+class TestFaultyConnection:
+    def test_drop_swallows_only_the_targeted_frame(self):
+        connection, peer = _faulty(FaultRule("conn.drop", 0.0, at=(0,)))
+        try:
+            connection.send("result", job_id="dropped")
+            connection.send("result", job_id="kept")
+            peer.settimeout(5.0)
+            assert recv_message(peer)["job_id"] == "kept"
+        finally:
+            connection.close()
+            peer.close()
+
+    def test_corrupt_frame_is_rejected_by_framing(self):
+        connection, peer = _faulty(FaultRule("conn.corrupt", 0.0, at=(0,)))
+        try:
+            connection.send("result", job_id="mangled")
+            peer.settimeout(5.0)
+            with pytest.raises(ProtocolError):   # never silently-wrong data
+                recv_message(peer)
+        finally:
+            connection.close()
+            peer.close()
+
+    def test_truncated_frame_desynchronizes_stream(self):
+        connection, peer = _faulty(FaultRule("conn.truncate", 0.0, at=(0,)))
+        try:
+            connection.send("result", job_id="cut")
+            peer.settimeout(5.0)
+            with pytest.raises(ProtocolError):
+                recv_message(peer)
+        finally:
+            connection.close()
+            peer.close()
+
+    def test_partition_swallows_everything_after(self):
+        connection, peer = _faulty(FaultRule("conn.partition", 0.0, at=(0,)))
+        try:
+            connection.send("result", job_id="gone")
+            connection.send("heartbeat")         # job-less frames too
+            connection.send("result", job_id="also-gone")
+            peer.settimeout(0.3)
+            with pytest.raises(socket.timeout):
+                recv_message(peer)               # nothing ever arrives
+        finally:
+            connection.close()
+            peer.close()
+
+    def test_handshake_frames_pass_untouched(self):
+        connection, peer = _faulty(FaultRule("conn.drop", 1.0))
+        try:
+            connection.send("hello", worker="w0")   # no job_id: not a target
+            peer.settimeout(5.0)
+            assert recv_message(peer)["type"] == "hello"
+        finally:
+            connection.close()
+            peer.close()
+
+
+# ---------------------------------------------------------------------------
+# Persistence seams
+# ---------------------------------------------------------------------------
+class TestFaultyPersistence:
+    @pytest.mark.parametrize("site", ["cache.truncate", "cache.corrupt"])
+    def test_damaged_cache_entry_degrades_to_miss(self, tmp_path, site):
+        injector = FaultInjector(FaultPlan(1, [FaultRule(site, 1.0)]))
+        cache = injector.wrap_cache(ResultCache(str(tmp_path)))
+        spec = _spec()
+        cache.put(spec, run_spec(spec))
+        reader = ResultCache(str(tmp_path))
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert reader.get(spec) is None
+        assert reader.corrupt == 1
+        # The damaged entry was discarded; a fresh put fully heals it.
+        reader.put(spec, run_spec(spec))
+        assert ResultCache(str(tmp_path)).get(spec) is not None
+
+    def test_torn_append_loses_only_one_record(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        injector = FaultInjector(
+            FaultPlan(1, [FaultRule("ledger.torn", 0.0, at=(0,))]))
+        ledger = injector.wrap_ledger(RunLedger(path))
+        torn_spec, intact_spec = _spec(seed=1), _spec(seed=2)
+        metrics = run_spec(torn_spec)
+        ledger.record(torn_spec, cache="miss", wall_s=1.0, worker=1,
+                      metrics=metrics)
+        ledger.record(intact_spec, cache="miss", wall_s=1.0, worker=1,
+                      metrics=metrics)
+        with pytest.warns(RuntimeWarning, match="corrupt ledger record"):
+            records = RunLedger.read(path)
+        assert [r["key"] for r in records] == [intact_spec.key]
+        # Resume sees the torn spec as incomplete -> it gets re-dispatched.
+        completed = RunLedger.completed_index(path)
+        assert torn_spec.key not in completed
+        assert intact_spec.key in completed
+
+
+# ---------------------------------------------------------------------------
+# End-to-end chaos runs
+# ---------------------------------------------------------------------------
+class TestChaosRun:
+    def test_chaos_specs_are_pinned(self):
+        first, second = chaos_specs(), chaos_specs()
+        assert [s.key for s in first] == [s.key for s in second]
+        assert len(chaos_specs(2)) == 2
+
+    def test_same_seed_reproduces_schedule_bit_identically(self, tmp_path):
+        kwargs = dict(workers=2, count=2, stream=io.StringIO())
+        first = run_chaos(99, cache_dir=str(tmp_path / "a"), **kwargs)
+        second = run_chaos(99, cache_dir=str(tmp_path / "b"), **kwargs)
+        assert first["ok"], first
+        assert second["ok"], second
+        assert first["schedule"] == second["schedule"]
+        assert first["stale_salt_rejected"]
+        assert first["wrong_secret_rejected"]
+        # The ledger records the plan, so a failing run is replayable
+        # from the ledger alone.
+        records = RunLedger.read(str(tmp_path / "a" / "runs.jsonl"))
+        plans = [r for r in records if r.get("meta") == "chaos-plan"]
+        assert len(plans) == 1
+        assert FaultPlan.from_dict(plans[0]["plan"]).seed == 99
+        # Meta records are structurally invisible to job-record readers.
+        assert all("key" not in r for r in plans)

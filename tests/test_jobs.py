@@ -140,6 +140,50 @@ class TestResultCache:
         cached = json.dumps(cache.get(spec).to_dict(), sort_keys=True)
         assert cached == original
 
+    def _entry_path(self, cache, spec):
+        return os.path.join(cache.results_dir, f"{spec.key}.json")
+
+    def test_garbage_bytes_degrade_to_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = _spec()
+        cache.put(spec, run_spec(spec))
+        with open(self._entry_path(cache, spec), "wb") as handle:
+            handle.write(b"\xff\x00 not json")
+        with pytest.warns(RuntimeWarning, match="undecodable JSON"):
+            assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        # The damaged file is discarded so the next put replaces it.
+        assert not os.path.exists(self._entry_path(cache, spec))
+
+    def test_checksum_mismatch_degrades_to_miss(self, tmp_path):
+        """Edited metrics under valid JSON must never be served."""
+        cache = ResultCache(str(tmp_path))
+        spec = _spec()
+        cache.put(spec, run_spec(spec))
+        path = self._entry_path(cache, spec)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["metrics"]["cycles"] += 1       # silently-wrong-data bait
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert cache.get(spec) is None
+        assert cache.corrupt == 1
+
+    def test_unrebuildable_metrics_degrade_to_miss(self, tmp_path):
+        """A correct checksum over a bogus schema still ends in a miss."""
+        from repro.jobs import metrics_checksum
+        cache = ResultCache(str(tmp_path))
+        spec = _spec()
+        cache.put(spec, run_spec(spec))
+        bogus = {"nope": True}
+        with open(self._entry_path(cache, spec), "w") as handle:
+            json.dump({"spec": spec.to_dict(), "metrics": bogus,
+                       "sha256": metrics_checksum(bogus)}, handle)
+        with pytest.warns(RuntimeWarning, match="schema mismatch"):
+            assert cache.get(spec) is None
+        assert cache.corrupt == 1
+
     def test_salt_partitions_generations(self, tmp_path):
         spec = _spec()
         metrics = run_spec(spec)
@@ -260,6 +304,34 @@ class TestRunLedger:
         assert len(records) == 2
         assert [record["cache"] for record in records] == ["miss", "hit"]
 
+    def test_meta_records_are_invisible_to_job_readers(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        ledger = RunLedger(path)
+        spec = _spec()
+        ledger.record_meta("chaos-plan", seed=7, plan={"rules": []})
+        ledger.record(spec, cache="miss", wall_s=1.0, worker=1,
+                      metrics=run_spec(spec))
+        records = RunLedger.read(path)
+        assert records[0]["meta"] == "chaos-plan"
+        assert "key" not in records[0] and "status" not in records[0]
+        assert list(RunLedger.completed_index(path)) == [spec.key]
+
+    def test_completed_index_tracks_latest_status(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        ledger = RunLedger(path)
+        done, flaky = _spec(seed=1), _spec(seed=2)
+        metrics = run_spec(done)
+        ledger.record(done, cache="miss", wall_s=1.0, worker=1,
+                      metrics=metrics)
+        ledger.record(flaky, cache="miss", wall_s=1.0, worker=1,
+                      metrics=metrics)
+        ledger.record(flaky, cache="miss", wall_s=1.0, worker=1,
+                      status="failed", error="boom")
+        completed = RunLedger.completed_index(path)
+        assert set(completed) == {done.key}     # later failure pops the key
+        assert completed[done.key]["ipc"] == pytest.approx(metrics.ipc,
+                                                           abs=1e-5)
+
     def test_record_carries_cost_model_features(self, tmp_path):
         path = str(tmp_path / "runs.jsonl")
         spec = _spec()
@@ -331,6 +403,35 @@ class TestExecutor:
         ledger = RunLedger.read(str(tmp_path / "runs.jsonl"))
         assert ledger[-1]["status"] == "failed"
         assert "always broken" in ledger[-1]["error"]
+
+    def test_on_failure_report_returns_partial_results(self, tmp_path,
+                                                       monkeypatch):
+        import repro.harness.runner as runner_mod
+        real = runner_mod.run_spec
+
+        def broken_for_kangaroo(spec):
+            if spec.workload == "kangaroo":
+                raise RuntimeError("always broken")
+            return real(spec)
+
+        monkeypatch.setattr(runner_mod, "run_spec", broken_for_kangaroo)
+        executor = Executor(jobs=1, cache=NullCache(),
+                            ledger=RunLedger(str(tmp_path / "runs.jsonl")),
+                            on_failure="report")
+        results = executor.run([_spec(), _spec(workload="kangaroo")])
+        assert results[0] is not None and results[0].cycles > 0
+        assert results[1] is None               # the hole, not an exception
+        report = executor.failure_report
+        assert len(report) == 1 and not report.ok
+        failure = report.to_dict()["failures"][0]
+        assert failure["workload"] == "kangaroo"
+        assert failure["stage"] == "parent"
+        assert "always broken" in failure["error"]
+        assert "exhausted" in report.render()
+
+    def test_on_failure_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="on_failure"):
+            Executor(jobs=1, cache=NullCache(), on_failure="shrug")
 
 
 class TestDeterminism:
