@@ -21,6 +21,10 @@ Usage::
     python -m repro sweep fig7 --resume --keep-going
     python -m repro cluster worker --connect 10.0.0.5:7077 --secret S
     python -m repro cluster status --connect 10.0.0.5:7077
+    python -m repro serve --bind 0.0.0.0:7077 --workers 4 \
+        --tls-cert serve.crt --tls-key serve.key --store /mnt/repro-store
+    python -m repro submit fig7 --connect 10.0.0.5:7077 --tls-ca serve.crt
+    python -m repro jobs --connect 10.0.0.5:7077 --tls-ca serve.crt
     python -m repro chaos --seed 7         # fault-injection matrix
     python -m repro report --from-ledger ~/.cache/repro/runs.jsonl
 
@@ -255,6 +259,58 @@ def cmd_chaos(args):
     return 0 if report["ok"] else 1
 
 
+def _client_tls(args):
+    """Client-side TLSConfig from --tls-ca/--tls-fingerprint (or env)."""
+    from .cluster import TLSConfig
+    return TLSConfig.from_args(args, server_side=False)
+
+
+def _query_endpoint(args, label="coordinator", command="cluster status"):
+    """STATUS-query a coordinator/daemon; returns info dict or None."""
+    from .cluster import AuthenticationError, ProtocolError, query_status
+    try:
+        return query_status(args.connect, secret=args.secret or None,
+                            tls=_client_tls(args))
+    except AuthenticationError as error:
+        print(f"{command}: {error}", file=sys.stderr)
+    except (OSError, ProtocolError) as error:
+        print(f"cannot reach {label} at {args.connect}: {error}",
+              file=sys.stderr)
+    return None
+
+
+def _print_daemon_status(daemon):
+    """The serve-daemon section of `cluster status` / `jobs` output."""
+    print(f"daemon       up {daemon.get('uptime_s', 0.0):,.0f}s, protocol "
+          f"v{daemon.get('protocol')}, "
+          f"tls {'on' if daemon.get('tls') else 'off'}")
+    print(f"fleet        {daemon.get('fleet', 0)} worker(s), "
+          f"{daemon.get('active_jobs', 0)} active + "
+          f"{daemon.get('queued_jobs', 0)} queued job(s); lifetime "
+          f"{daemon.get('jobs_done', 0)} done, "
+          f"{daemon.get('jobs_failed', 0)} failed, "
+          f"{daemon.get('store_hits', 0)} store hit(s)")
+    store = daemon.get("store")
+    if store is not None:
+        print(f"store        {store.get('hits', 0)} hit(s), "
+              f"{store.get('misses', 0)} miss(es) this uptime")
+    sessions = daemon.get("sessions", [])
+    print(f"sessions     {len(sessions)} connected, "
+          f"{daemon.get('sessions_served', 0)} served, "
+          f"{daemon.get('sweeps_done', 0)} sweep(s) completed")
+    for session in sessions:
+        print(f"  {session.get('session')} ({session.get('client')}): "
+              f"{session.get('active_sweeps', 0)} active sweep(s), "
+              f"{session.get('sweeps_done', 0)} done, seen "
+              f"{session.get('last_seen_s', 0.0):.1f}s ago")
+        for sweep in session.get("sweeps", []):
+            print(f"    {sweep.get('sweep')}: {sweep.get('done', 0)}/"
+                  f"{sweep.get('total', 0)} done "
+                  f"({sweep.get('cached', 0)} cached), "
+                  f"{sweep.get('pending', 0)} pending, "
+                  f"{sweep.get('failed', 0)} failed")
+
+
 def cmd_cluster(args):
     """`repro cluster {worker,status}`: join or inspect a coordinator."""
     action = args.workload
@@ -267,6 +323,9 @@ def cmd_cluster(args):
         kwargs = {"max_jobs": args.max_jobs, "reconnect": args.reconnect}
         if args.secret:              # else fall back to $REPRO_CLUSTER_SECRET
             kwargs["secret"] = args.secret
+        tls = _client_tls(args)
+        if tls is not None:
+            kwargs["tls"] = tls
         worker = Worker(args.connect, **kwargs)
         return worker.serve()
     if action == "status":
@@ -274,23 +333,20 @@ def cmd_cluster(args):
             print("cluster status needs --connect HOST:PORT",
                   file=sys.stderr)
             return 2
-        from .cluster import AuthenticationError, ProtocolError, query_status
-        try:
-            info = query_status(args.connect, secret=args.secret or None)
-        except AuthenticationError as error:
-            print(f"cluster status: {error}", file=sys.stderr)
-            return 1
-        except (OSError, ProtocolError) as error:
-            print(f"cannot reach coordinator at {args.connect}: {error}",
-                  file=sys.stderr)
+        info = _query_endpoint(args)
+        if info is None:
             return 1
         jobs_info = info.get("jobs", {})
         print(f"coordinator  {info.get('address', args.connect)}")
-        print(f"jobs         {jobs_info.get('done', 0)}/"
-              f"{jobs_info.get('total', 0)} done, "
-              f"{jobs_info.get('running', 0)} running, "
-              f"{jobs_info.get('queued', 0)} queued, "
-              f"{jobs_info.get('failed', 0)} failed")
+        daemon = info.get("daemon")
+        if daemon is not None:       # a `repro serve` endpoint
+            _print_daemon_status(daemon)
+        else:
+            print(f"jobs         {jobs_info.get('done', 0)}/"
+                  f"{jobs_info.get('total', 0)} done, "
+                  f"{jobs_info.get('running', 0)} running, "
+                  f"{jobs_info.get('queued', 0)} queued, "
+                  f"{jobs_info.get('failed', 0)} failed")
         workers = info.get("workers", [])
         print(f"workers      {len(workers)}")
         for worker in workers:
@@ -301,6 +357,65 @@ def cmd_cluster(args):
     print(f"unknown cluster action {action!r} (expected: worker, status)",
           file=sys.stderr)
     return 2
+
+
+def cmd_serve(args):
+    """`repro serve`: run the always-on sweep daemon until interrupted."""
+    from .cluster import TLSConfig
+    from .cluster.protocol import parse_address
+    from .serve import ServeDaemon, SharedStore, default_store_dir
+    tls = TLSConfig.from_args(args, server_side=True)
+    host, port = parse_address(args.bind)
+    store_dir = args.store or default_store_dir()
+    store = SharedStore(store_dir) if store_dir else None
+    context = jobs.get_context()
+    kwargs = {}
+    if args.secret:                  # else fall back to $REPRO_CLUSTER_SECRET
+        kwargs["secret"] = args.secret
+    daemon = ServeDaemon(host=host, port=port, store=store,
+                         ledger=context.ledger, tls=tls,
+                         job_timeout=args.job_timeout, **kwargs)
+    daemon.start(workers=args.workers)
+    print(f"[serve] daemon on {daemon.address} "
+          f"(tls={'on' if tls else 'off'}, "
+          f"store={store_dir or 'disabled'}, "
+          f"workers={args.workers}); clients: `repro submit <experiment> "
+          f"--connect {daemon.address}`", file=sys.stderr, flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] interrupted; shutting down", file=sys.stderr)
+    finally:
+        daemon.close()
+    return 0
+
+
+def cmd_submit(args):
+    """`repro submit`: run a sweep through a `repro serve` daemon."""
+    if not args.connect:
+        print("submit needs --connect HOST:PORT (a running `repro serve` "
+              "daemon)", file=sys.stderr)
+        return 2
+    return cmd_sweep(args)
+
+
+def cmd_jobs(args):
+    """`repro jobs`: a serve daemon's live queue, session by session."""
+    if not args.connect:
+        print("jobs needs --connect HOST:PORT (a running `repro serve` "
+              "daemon)", file=sys.stderr)
+        return 2
+    info = _query_endpoint(args, label="daemon", command="jobs")
+    if info is None:
+        return 1
+    daemon = info.get("daemon")
+    if daemon is None:
+        print(f"{args.connect} is a per-sweep coordinator, not a `repro "
+              f"serve` daemon; use `repro cluster status`", file=sys.stderr)
+        return 1
+    print(f"daemon       {info.get('address', args.connect)}")
+    _print_daemon_status(daemon)
+    return 0
 
 
 def cmd_report(args):
@@ -352,15 +467,16 @@ def main(argv=None):
     parser.add_argument("command",
                         choices=sorted(ALL_EXPERIMENTS) + ["all", "bench",
                                                            "cache", "chaos",
-                                                           "cluster",
+                                                           "cluster", "jobs",
                                                            "lint", "list",
                                                            "report", "run",
+                                                           "serve", "submit",
                                                            "sweep"])
     parser.add_argument("workload", nargs="?",
                         help="workload name (for `run`), cache action "
                              "(for `cache`: stats, clear, prune), cluster "
                              "action (for `cluster`: worker, status), "
-                             "experiment name (for `sweep`), or a "
+                             "experiment name (for `sweep`/`submit`), or a "
                              "path to lint (for `lint`)")
     parser.add_argument("--technique", default="dvr",
                         choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
@@ -403,22 +519,44 @@ def main(argv=None):
     parser.add_argument("--max-bytes", type=int, default=None, metavar="N",
                         help="cache prune: evict oldest current-generation "
                              "entries until the generation fits in N bytes")
-    parser.add_argument("--backend", choices=("local", "cluster"),
+    parser.add_argument("--backend", choices=("local", "cluster", "serve"),
                         default="local",
                         help="executor backend for sweeps: `local` process "
-                             "pool (default) or `cluster` TCP workers")
+                             "pool (default), `cluster` TCP workers, or "
+                             "`serve` (submit to a running daemon; "
+                             "--connect)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
-                        help="cluster backend: loopback worker processes "
-                             "to spawn (0 = wait for external workers)")
+                        help="cluster backend / serve daemon: loopback "
+                             "worker processes to spawn (0 = wait for "
+                             "external workers)")
     parser.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
-                        help="cluster backend: coordinator bind address "
+                        help="cluster backend / serve daemon: bind address "
                              "(port 0 = ephemeral)")
     parser.add_argument("--connect", default=None, metavar="HOST:PORT",
-                        help="cluster worker/status: coordinator address")
+                        help="cluster worker/status, submit, jobs: the "
+                             "coordinator/daemon address")
     parser.add_argument("--secret", default=None, metavar="SECRET",
-                        help="cluster shared handshake secret (default: "
-                             "$REPRO_CLUSTER_SECRET; unauthenticated "
-                             "dialers are rejected before HELLO)")
+                        help="cluster/serve shared handshake secret "
+                             "(default: $REPRO_CLUSTER_SECRET; "
+                             "unauthenticated dialers are rejected)")
+    parser.add_argument("--tls-cert", default=None, metavar="PEM",
+                        help="serve daemon / cluster coordinator: TLS "
+                             "certificate (with --tls-key, enables TLS)")
+    parser.add_argument("--tls-key", default=None, metavar="PEM",
+                        help="server-side TLS private key")
+    parser.add_argument("--tls-ca", default=None, metavar="PEM",
+                        help="client side: CA file to verify the server "
+                             "certificate against (default: $REPRO_TLS_CA); "
+                             "on the server, demands client certificates "
+                             "(mutual TLS)")
+    parser.add_argument("--tls-fingerprint", default=None, metavar="SHA256",
+                        help="client side: pin the server certificate's "
+                             "sha256 fingerprint instead of a CA file "
+                             "(default: $REPRO_TLS_FINGERPRINT)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="shared content-addressed result store "
+                             "directory (default: $REPRO_STORE_DIR; sweeps "
+                             "and the serve daemon share hits through it)")
     parser.add_argument("--resume", action="store_true",
                         help="sweep: replay specs the run ledger already "
                              "records as completed; dispatch only the "
@@ -453,17 +591,31 @@ def main(argv=None):
                         help="bench: timing repetitions (best-of-N)")
     args = parser.parse_args(argv)
 
+    from .cluster import TLSConfig, TLSConfigError
+
     env = jobs.ExecutionContext.from_env()
+    backend = "serve" if args.command == "submit" else args.backend
     cluster_options = {"bind": args.bind, "workers": args.workers}
+    serve_options = {"connect": args.connect}
     if args.secret:
         cluster_options["secret"] = args.secret
+        serve_options["secret"] = args.secret
+    if backend == "serve":
+        try:
+            tls = TLSConfig.from_args(args, server_side=False)
+        except TLSConfigError as error:
+            parser.error(str(error))
+        if tls is not None:
+            serve_options["tls"] = tls
     jobs.configure(
         jobs=args.jobs if args.jobs is not None else env.jobs,
         cache_dir=args.cache_dir or env.cache_dir,
         no_cache=args.no_cache or env.no_cache,
         timeout=args.job_timeout,
-        backend=args.backend,
+        backend=backend,
         cluster=cluster_options,
+        serve=serve_options,
+        store=args.store,
         resume=args.resume,
         on_failure="report" if args.keep_going else "raise")
 
@@ -480,6 +632,16 @@ def main(argv=None):
             return cmd_chaos(args)
         if args.command == "cluster":
             return cmd_cluster(args)
+        if args.command == "jobs":
+            return cmd_jobs(args)
+        if args.command == "serve":
+            try:
+                return cmd_serve(args)
+            except TLSConfigError as error:
+                print(f"serve: {error}", file=sys.stderr)
+                return 2
+        if args.command == "submit":
+            return cmd_submit(args)
         if args.command == "lint":
             return cmd_lint(args)
         if args.command == "report":

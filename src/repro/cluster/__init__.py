@@ -18,9 +18,11 @@ from .costmodel import CostModel
 from .executor import ClusterExecutor
 from .protocol import (AuthenticationError, Connection, MAX_MESSAGE_BYTES,
                        PROTOCOL_VERSION, ProtocolError, authenticate_client,
-                       compute_mac, default_secret, parse_address,
+                       compute_mac, default_secret, dial, parse_address,
                        query_status)
 from .scheduler import cost_model_for, longest_first
+from .tls import (PinnedCertificateError, TLSConfig, TLSConfigError,
+                  certificate_fingerprint)
 from .worker import Worker, WorkerRejected
 
 __all__ = [
@@ -32,14 +34,19 @@ __all__ = [
     "CostModel",
     "MAX_MESSAGE_BYTES",
     "PROTOCOL_VERSION",
+    "PinnedCertificateError",
     "ProtocolError",
+    "TLSConfig",
+    "TLSConfigError",
     "Worker",
     "WorkerHandle",
     "WorkerRejected",
     "authenticate_client",
+    "certificate_fingerprint",
     "compute_mac",
     "cost_model_for",
     "default_secret",
+    "dial",
     "longest_first",
     "parse_address",
     "query_status",

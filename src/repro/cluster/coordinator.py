@@ -39,8 +39,8 @@ import time
 
 from .protocol import (AUTH, CHALLENGE, Connection, DRAIN, GOODBYE,
                        HEARTBEAT, HELLO, JOB, PROTOCOL_VERSION,
-                       ProtocolError, REJECT, RESULT, STATUS, STATUS_REPLY,
-                       WELCOME, default_secret, verify_mac)
+                       ProtocolError, REJECT, RESULT, SESSION, STATUS,
+                       STATUS_REPLY, WELCOME, default_secret, verify_mac)
 
 
 class ClusterError(RuntimeError):
@@ -92,7 +92,7 @@ class Coordinator:
     def __init__(self, host="127.0.0.1", port=0, *, job_timeout=None,
                  heartbeat_timeout=15.0, retry_base=0.25, retry_cap=5.0,
                  max_attempts=3, worker_grace=60.0, poll_interval=0.05,
-                 secret=_SECRET_FROM_ENV):
+                 secret=_SECRET_FROM_ENV, tls=None):
         self.host = host
         self.port = port
         self.job_timeout = job_timeout
@@ -102,6 +102,17 @@ class Coordinator:
         if secret is Coordinator._SECRET_FROM_ENV:
             secret = default_secret()
         self.secret = secret or None
+        # Server-side TLSConfig, or None for plaintext.  Accepted sockets
+        # are wrapped before any frame is read, so the HMAC handshake
+        # (and everything after it) runs inside the encrypted channel.
+        self.tls = tls
+        #: Serve-daemon hook: a callable ``(connection, session_frame)``
+        #: that takes ownership of a client connection whose first frame
+        #: is SESSION; None (per-sweep coordinators) closes such dialers.
+        self.client_handler = None
+        #: Serve-daemon hook: extra fields merged into :meth:`status`
+        #: replies (uptime, sessions, fleet) for `repro cluster status`.
+        self.status_extra = None
         self.heartbeat_timeout = heartbeat_timeout
         self.retry_base = retry_base
         self.retry_cap = retry_cap
@@ -194,6 +205,10 @@ class Coordinator:
             # Hand the handshake secret to loopback workers via the
             # environment, never argv (argv is world-readable in ps).
             env["REPRO_CLUSTER_SECRET"] = self.secret
+        if self.tls is not None:
+            # Children pin our certificate fingerprint -- trust without
+            # distributing any file.
+            env.update(self.tls.child_environment())
         command = [sys.executable, "-m", "repro", "cluster", "worker",
                    "--connect", f"{self.host}:{self.port}"]
         command.extend(extra_args)
@@ -231,9 +246,20 @@ class Coordinator:
             thread.start()
 
     def _serve_connection(self, sock):
-        connection = Connection(sock)
         try:
             sock.settimeout(10.0)
+            if self.tls is not None:
+                # Handshake failures (plaintext dialer, bad client cert)
+                # are OSErrors; the dialer is dropped before any frame.
+                sock = self.tls.wrap(sock)
+        except (OSError, ValueError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
+        connection = Connection(sock)
+        try:
             if not self._authenticate(connection):
                 # Drain until the dialer has read the REJECT and closed:
                 # closing first can RST away the queued REJECT while the
@@ -261,6 +287,11 @@ class Coordinator:
             except OSError:
                 pass
             connection.close()
+            return
+        if kind == SESSION and self.client_handler is not None:
+            # Serve daemon: this thread becomes the session's reader
+            # loop; the handler owns the connection from here on.
+            self.client_handler(connection, message)
             return
         if kind != HELLO:
             connection.close()
@@ -508,6 +539,9 @@ class Coordinator:
                 "jobs_done": worker.done,
                 "last_seen_s": round(now - worker.last_seen, 3),
             } for worker in self._workers if worker.alive]
-        return {"address": self.address,
+        info = {"address": self.address,
                 "workers": workers,
                 "jobs": dict(self._progress)}
+        if self.status_extra is not None:
+            info.update(self.status_extra())
+        return info

@@ -49,7 +49,10 @@ import threading
 # Version 2: CHALLENGE/AUTH handshake frames + coordinator-side
 # heartbeat echo (workers use the echo to detect a dead/partitioned
 # coordinator instead of blocking forever on recv).
-PROTOCOL_VERSION = 2
+# Version 3: optional TLS under the HMAC handshake, plus the serve-daemon
+# client frames (SESSION/SUBMIT/JOB_DONE/SWEEP_DONE) multiplexed on the
+# same listening socket as worker HELLOs.
+PROTOCOL_VERSION = 3
 
 #: Hard ceiling on one frame; a Metrics payload is a few KB, so anything
 #: near this is a corrupt or hostile stream, not a big result.
@@ -70,6 +73,14 @@ DRAIN = "drain"              # coordinator -> worker: finish + exit
 GOODBYE = "goodbye"          # worker -> coordinator: clean departure
 STATUS = "status"            # client -> coordinator: registry snapshot?
 STATUS_REPLY = "status-reply"
+
+# -- serve-daemon client frames (protocol v3) -------------------------------
+SESSION = "session"          # client -> daemon: open a sweep session
+SESSION_OK = "session-ok"    # daemon -> client: session registered
+SUBMIT = "submit"            # client -> daemon: one sweep of JobSpecs
+SWEEP_ACCEPTED = "sweep-accepted"   # daemon -> client: sweep queued
+JOB_DONE = "job-done"        # daemon -> client: one job's result (streamed)
+SWEEP_DONE = "sweep-done"    # daemon -> client: sweep fully settled
 
 
 class ProtocolError(RuntimeError):
@@ -227,23 +238,47 @@ class Connection:
             pass
 
 
-def query_status(address, timeout=5.0, secret=None):
-    """One-shot status query against a running coordinator.
+def dial(address, *, timeout=10.0, tls=None, secret=None):
+    """Connect + (optional) TLS wrap + (optional) HMAC auth, in order.
 
-    ``secret`` defaults to ``$REPRO_CLUSTER_SECRET``; when the
-    coordinator requires authentication the challenge is answered before
-    the ``STATUS`` frame is sent.
+    The shared dialer for workers, status queries, and serve clients:
+    TLS is the transport (wrapped first, so the HMAC handshake runs
+    inside the encrypted channel), the shared secret is the
+    authentication.  ``tls`` defaults to the environment
+    (``$REPRO_TLS_CA`` / ``$REPRO_TLS_FINGERPRINT``); pass ``False`` to
+    force plaintext.  Returns an authenticated :class:`Connection`.
+    """
+    if tls is None:
+        from .tls import TLSConfig
+        tls = TLSConfig.from_env()
+    sock = socket.create_connection(parse_address(address), timeout=timeout)
+    try:
+        if tls:
+            sock = tls.wrap(sock)
+        connection = Connection(sock)
+        authenticate_client(connection, secret)
+    except BaseException:
+        sock.close()
+        raise
+    return connection
+
+
+def query_status(address, timeout=5.0, secret=None, tls=None):
+    """One-shot status query against a running coordinator or daemon.
+
+    ``secret`` defaults to ``$REPRO_CLUSTER_SECRET`` and ``tls`` to the
+    ``$REPRO_TLS_*`` environment; when the coordinator requires
+    authentication the challenge is answered before the ``STATUS``
+    frame is sent.
     """
     if secret is None:
         secret = default_secret()
-    sock = socket.create_connection(parse_address(address), timeout=timeout)
+    connection = dial(address, timeout=timeout, tls=tls, secret=secret)
     try:
-        connection = Connection(sock)
-        authenticate_client(connection, secret)
         connection.send(STATUS)
         reply = connection.recv()
     finally:
-        sock.close()
+        connection.close()
     if reply is not None and reply.get("type") == CHALLENGE:
         raise AuthenticationError(
             "coordinator requires a shared secret "

@@ -50,12 +50,14 @@ class Worker:
 
     #: Sentinel: "no secret passed, fall back to $REPRO_CLUSTER_SECRET".
     _SECRET_FROM_ENV = object()
+    #: Sentinel: "no TLS config passed, fall back to $REPRO_TLS_*".
+    _TLS_FROM_ENV = object()
 
     def __init__(self, address, worker_id=None, max_jobs=None, reconnect=0,
                  reconnect_delay=0.5, heartbeat_interval=2.0, run_job=None,
                  salt=None, quiet=None, secret=_SECRET_FROM_ENV,
                  socket_timeout=5.0, coordinator_timeout=20.0,
-                 injector=None):
+                 injector=None, tls=_TLS_FROM_ENV):
         self.host, self.port = parse_address(address)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.max_jobs = max_jobs
@@ -75,6 +77,13 @@ class Worker:
         if secret is Worker._SECRET_FROM_ENV:
             secret = default_secret()
         self.secret = secret or None
+        # Client-side TLSConfig (CA verify or fingerprint pinning), or
+        # None for plaintext.  Spawned loopback workers inherit the
+        # coordinator's trust material through $REPRO_TLS_*.
+        if tls is Worker._TLS_FROM_ENV:
+            from .tls import TLSConfig
+            tls = TLSConfig.from_env()
+        self.tls = tls or None
         # Optional repro.faults.FaultInjector wrapping this worker's
         # connection (frame drop/delay/corruption/partition injection).
         self.injector = injector
@@ -125,6 +134,12 @@ class Worker:
         # (None)): a coordinator that dies mid-job or gets partitioned
         # away must not hang this worker on send/recv forever.
         sock.settimeout(self.socket_timeout)
+        if self.tls is not None:
+            # TLS first, so the HMAC handshake (and every frame after)
+            # runs inside the encrypted channel.  A pinning mismatch is
+            # a PinnedCertificateError (an SSLError/OSError) and lands
+            # in serve()'s reconnect path like any dead connection.
+            sock = self.tls.wrap(sock)
         connection = Connection(sock)
         if self.injector is not None:
             connection = self.injector.wrap_connection(

@@ -10,7 +10,7 @@ returned metrics.
 """
 
 from .cache import (NullCache, ResultCache, code_salt, default_cache_dir,
-                    metrics_checksum)
+                    generation_lock, metrics_checksum)
 from .context import (ExecutionContext, close_context, configure,
                       get_context, run_specs, set_context)
 from .executor import Executor, JobError, ProgressLine, SweepFailureReport
@@ -32,6 +32,7 @@ __all__ = [
     "code_salt",
     "configure",
     "default_cache_dir",
+    "generation_lock",
     "get_context",
     "metrics_checksum",
     "run_specs",

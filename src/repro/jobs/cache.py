@@ -23,9 +23,43 @@ import json
 import os
 import tempfile
 import warnings
+from contextlib import contextmanager
+
+try:
+    import fcntl
+except ImportError:              # non-POSIX: degrade to unlocked behaviour
+    fcntl = None
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _code_salt = None
+
+
+@contextmanager
+def generation_lock(root_dir, *, exclusive=False):
+    """Advisory file lock over a result-store root (``<root>/.lock``).
+
+    Writers take the lock *shared* (atomic temp-file + rename already
+    makes them safe against each other) and pruners take it *exclusive*,
+    so a prune scan can never interleave with an in-flight ``put`` --
+    previously a prune racing a concurrent writer could delete the
+    writer's temp file between its write and its rename, turning the
+    ``put`` into an ``os.replace`` crash, or evict an entry the writer
+    had just published.  ``flock`` is advisory and per-open-file, so
+    every acquisition opens the lock file fresh (thread- and
+    process-safe); on platforms without ``fcntl`` this degrades to the
+    historical unlocked behaviour.
+    """
+    if fcntl is None:
+        yield
+        return
+    os.makedirs(root_dir, exist_ok=True)
+    fd = os.open(os.path.join(root_dir, ".lock"),
+                 os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield
+    finally:
+        os.close(fd)             # releases the flock
 
 
 def default_cache_dir():
@@ -126,21 +160,32 @@ class ResultCache:
         self.hits += 1
         return metrics
 
+    def _lock_root(self):
+        return os.path.join(self.cache_dir, "results")
+
     def put(self, spec, metrics):
-        """Persist ``metrics`` atomically; concurrent writers are safe."""
+        """Persist ``metrics`` atomically; concurrent writers are safe.
+
+        The generation lock is held *shared* across the temp-file write
+        and the rename, so a concurrent prune (which takes it exclusive)
+        can never evict the entry -- or delete the temp file -- between
+        the two steps.
+        """
         os.makedirs(self.results_dir, exist_ok=True)
         metrics_dict = metrics.to_dict()
         payload = {"spec": spec.to_dict(), "metrics": metrics_dict,
                    "sha256": metrics_checksum(metrics_dict)}
-        fd, tmp_path = tempfile.mkstemp(dir=self.results_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, self._path(spec))
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        with generation_lock(self._lock_root()):
+            fd, tmp_path = tempfile.mkstemp(dir=self.results_dir,
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_path, self._path(spec))
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
 
     # ------------------------------------------------------------------
     def stats(self):
@@ -178,16 +223,20 @@ class ResultCache:
         removed = 0
         if not os.path.isdir(results_root):
             return removed
-        for salt in os.listdir(results_root):
-            gen_dir = os.path.join(results_root, salt)
-            if salt == self.salt or not os.path.isdir(gen_dir):
-                continue
-            for dirpath, _dirnames, filenames in os.walk(gen_dir,
-                                                         topdown=False):
-                for filename in filenames:
-                    os.unlink(os.path.join(dirpath, filename))
-                    removed += 1
-                os.rmdir(dirpath)
+        # Exclusive generation lock across the whole scan: a concurrent
+        # writer (shared lock) can never lose an entry -- or its
+        # in-flight temp file -- to a racing prune.
+        with generation_lock(self._lock_root(), exclusive=True):
+            for salt in os.listdir(results_root):
+                gen_dir = os.path.join(results_root, salt)
+                if salt == self.salt or not os.path.isdir(gen_dir):
+                    continue
+                for dirpath, _dirnames, filenames in os.walk(gen_dir,
+                                                             topdown=False):
+                    for filename in filenames:
+                        os.unlink(os.path.join(dirpath, filename))
+                        removed += 1
+                    os.rmdir(dirpath)
         return removed
 
     def prune_to_bytes(self, max_bytes):
@@ -200,28 +249,29 @@ class ResultCache:
         """
         if not os.path.isdir(self.results_dir):
             return 0
-        entries = []
-        for name in sorted(os.listdir(self.results_dir)):
-            if not name.endswith(".json"):
-                continue
-            path = os.path.join(self.results_dir, name)
-            try:
-                stat = os.stat(path)
-            except FileNotFoundError:      # concurrent eviction
-                continue
-            entries.append((stat.st_mtime, name, path, stat.st_size))
-        entries.sort()                     # oldest first, name tie-break
-        total = sum(size for _mtime, _name, _path, size in entries)
-        removed = 0
-        for _mtime, _name, path, size in entries:
-            if total <= max_bytes:
-                break
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                continue
-            total -= size
-            removed += 1
+        with generation_lock(self._lock_root(), exclusive=True):
+            entries = []
+            for name in sorted(os.listdir(self.results_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(self.results_dir, name)
+                try:
+                    stat = os.stat(path)
+                except FileNotFoundError:      # concurrent eviction
+                    continue
+                entries.append((stat.st_mtime, name, path, stat.st_size))
+            entries.sort()                     # oldest first, name tie-break
+            total = sum(size for _mtime, _name, _path, size in entries)
+            removed = 0
+            for _mtime, _name, path, size in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue
+                total -= size
+                removed += 1
         return removed
 
     def clear(self):
@@ -229,13 +279,16 @@ class ResultCache:
         results_root = os.path.join(self.cache_dir, "results")
         removed = 0
         if os.path.isdir(results_root):
-            for dirpath, _dirnames, filenames in os.walk(results_root,
-                                                         topdown=False):
-                for filename in filenames:
-                    os.unlink(os.path.join(dirpath, filename))
-                    removed += 1
-                if dirpath != results_root:
-                    os.rmdir(dirpath)
+            with generation_lock(self._lock_root(), exclusive=True):
+                for dirpath, _dirnames, filenames in os.walk(results_root,
+                                                             topdown=False):
+                    for filename in filenames:
+                        if filename == ".lock":
+                            continue     # the generation-lock file itself
+                        os.unlink(os.path.join(dirpath, filename))
+                        removed += 1
+                    if dirpath != results_root:
+                        os.rmdir(dirpath)
         return removed
 
 

@@ -23,21 +23,36 @@ class ExecutionContext:
 
     def __init__(self, jobs=1, cache_dir=None, no_cache=False, timeout=None,
                  ledger_path=None, backend="local", cluster=None,
-                 resume=False, on_failure="raise"):
+                 serve=None, store=None, resume=False, on_failure="raise"):
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir or default_cache_dir()
         self.no_cache = bool(no_cache)
         self.timeout = timeout
-        self.cache = NullCache() if no_cache else ResultCache(self.cache_dir)
+        #: Shared-store root (``--store`` / $REPRO_STORE_DIR): when set,
+        #: the local per-machine cache is stacked over the fleet-wide
+        #: content-addressed store, so independent sweeps (and the serve
+        #: daemon) share hits through one path.
+        if store is None:
+            from ..serve.store import default_store_dir
+            store = default_store_dir()
+        self.store_dir = store
+        if no_cache:
+            self.cache = NullCache()
+        elif self.store_dir:
+            from ..serve.store import CacheStack, SharedStore
+            self.cache = CacheStack(ResultCache(self.cache_dir),
+                                    SharedStore(self.store_dir))
+        else:
+            self.cache = ResultCache(self.cache_dir)
         # The ledger records runs even when result reuse is off.
         if ledger_path is None:
             ledger_path = os.path.join(self.cache_dir, "runs.jsonl")
         self.ledger_path = ledger_path
         self.ledger = (RunLedger(ledger_path) if ledger_path
                        else NullLedger())
-        if backend not in ("local", "cluster"):
+        if backend not in ("local", "cluster", "serve"):
             raise ValueError(f"unknown executor backend {backend!r} "
-                             f"(expected 'local' or 'cluster')")
+                             f"(expected 'local', 'cluster' or 'serve')")
         self.backend = backend
         #: Cluster options: ``bind`` ("HOST:PORT", port 0 = ephemeral),
         #: ``workers`` (loopback subprocesses to spawn; 0 = wait for
@@ -46,6 +61,11 @@ class ExecutionContext:
         #: ``secret`` (shared handshake secret; default
         #: ``$REPRO_CLUSTER_SECRET``).
         self.cluster_options = dict(cluster or {})
+        #: Serve-backend options: ``connect`` ("HOST:PORT" of a running
+        #: `repro serve` daemon), ``secret``, ``tls`` (a client
+        #: TLSConfig; None = $REPRO_TLS_* environment).
+        self.serve_options = dict(serve or {})
+        self._serve_client = None
         #: ``repro sweep --resume``: replay specs the ledger already
         #: records as completed, dispatching only the remainder.  The
         #: index is snapshotted once per context so mid-sweep appends
@@ -75,10 +95,36 @@ class ExecutionContext:
                                    on_failure=self.on_failure,
                                    resume_index=self.resume_index(),
                                    failure_report=self.failure_report)
+        if self.backend == "serve":
+            from ..serve import ServeExecutor
+            return ServeExecutor(self._ensure_serve_client(),
+                                 cache=self.cache, ledger=self.ledger,
+                                 timeout=self.timeout,
+                                 on_failure=self.on_failure,
+                                 resume_index=self.resume_index(),
+                                 failure_report=self.failure_report)
         return Executor(jobs=self.jobs, cache=self.cache, ledger=self.ledger,
                         timeout=self.timeout, on_failure=self.on_failure,
                         resume_index=self.resume_index(),
                         failure_report=self.failure_report)
+
+    def _ensure_serve_client(self):
+        """Connect to the serve daemon on first use."""
+        if self._serve_client is None:
+            from ..serve import ServeClient
+            connect = self.serve_options.get("connect")
+            if not connect:
+                raise ValueError("serve backend needs a daemon address "
+                                 "(--connect HOST:PORT)")
+            kwargs = {}
+            if "secret" in self.serve_options:
+                kwargs["secret"] = self.serve_options["secret"]
+            if "tls" in self.serve_options:
+                kwargs["tls"] = self.serve_options["tls"]
+            client = ServeClient(connect, **kwargs)
+            client.connect()
+            self._serve_client = client
+        return self._serve_client
 
     def _ensure_coordinator(self):
         """Start the coordinator (and loopback workers) on first use."""
@@ -112,10 +158,13 @@ class ExecutionContext:
         return self._coordinator
 
     def close(self):
-        """Release cluster resources (no-op for the local backend)."""
+        """Release cluster/serve resources (no-op for the local backend)."""
         if self._coordinator is not None:
             self._coordinator.close()
             self._coordinator = None
+        if self._serve_client is not None:
+            self._serve_client.close()
+            self._serve_client = None
 
     @classmethod
     def from_env(cls):

@@ -249,12 +249,22 @@ class Executor:
         return longest_first(pending, self.cost_model)
 
     def _finish_job(self, spec, metrics, unique, results, cached, *,
-                    wall_s, worker, status, retries=0):
+                    wall_s, worker, status, retries=0, disposition=None):
+        """Record one completed job (cache + ledger + progress).
+
+        ``disposition`` overrides the ledger's cache column: remote
+        backends pass ``"hit"`` for results a daemon served from its
+        shared store, so the cost model never learns a zero-second
+        rate from them.  ``None`` means this process ran the job.
+        """
         self.cache.put(spec, metrics)
         results[spec.key] = metrics
-        miss = "off" if isinstance(self.cache, NullCache) else "miss"
-        self.ledger.record(spec, cache=miss, wall_s=wall_s, worker=worker,
-                           status=status, metrics=metrics, retries=retries)
+        if disposition is None:
+            disposition = ("off" if isinstance(self.cache, NullCache)
+                           else "miss")
+        self.ledger.record(spec, cache=disposition, wall_s=wall_s,
+                           worker=worker, status=status, metrics=metrics,
+                           retries=retries)
         self.progress.update(len(results), len(unique), spec, cached)
 
     def _retry_in_parent(self, spec, error):

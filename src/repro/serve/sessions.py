@@ -1,0 +1,129 @@
+"""Client-session registry for the serve daemon.
+
+A *session* is one connected client (one ``repro submit`` process, one
+``ServeClient``); a *sweep* is one SUBMIT frame's worth of job specs.
+Sessions own sweeps, sweeps track per-key completion, and the registry
+is the single place the daemon's scheduler thread looks up "who gets
+this result" and "who is still alive".  All mutation happens on the
+scheduler thread; per-connection reader threads only enqueue events, so
+no locking is needed beyond the connection's own send lock.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Sweep:
+    """One submitted sweep: its unique specs and settlement progress."""
+
+    def __init__(self, sweep_id, session_id, specs):
+        self.sweep_id = sweep_id
+        self.session_id = session_id
+        #: key -> JobSpec, insertion-ordered, already deduplicated.
+        self.specs = {spec.key: spec for spec in specs}
+        self.pending = set(self.specs)
+        self.done = 0
+        self.cached = 0
+        self.failed = {}             # key -> error string
+        self.submitted_at = time.monotonic()
+
+    @property
+    def total(self):
+        return len(self.specs)
+
+    @property
+    def settled(self):
+        return not self.pending
+
+    def settle(self, key, *, ok, cached=False):
+        """Mark one key finished; returns True if it was still pending."""
+        if key not in self.pending:
+            return False
+        self.pending.discard(key)
+        if ok:
+            self.done += 1
+            if cached:
+                self.cached += 1
+        return True
+
+    def snapshot(self):
+        return {"sweep": self.sweep_id, "total": self.total,
+                "done": self.done, "cached": self.cached,
+                "failed": len(self.failed), "pending": len(self.pending)}
+
+
+class Session:
+    """Daemon-side state for one connected client."""
+
+    def __init__(self, session_id, connection, name=None):
+        self.session_id = session_id
+        self.connection = connection
+        self.name = name or session_id
+        self.opened_at = time.monotonic()
+        self.last_seen = time.monotonic()
+        self.alive = True
+        self.sweeps = {}             # sweep_id -> Sweep (active only)
+        self.sweeps_done = 0
+
+    def active_sweeps(self):
+        return [s for s in list(self.sweeps.values()) if not s.settled]
+
+    def snapshot(self, now):
+        # list() copies: snapshots are read from connection threads while
+        # the scheduler thread mutates, and a size-changed dict during
+        # iteration would turn a status query into a crash.
+        sweeps = list(self.sweeps.values())
+        return {
+            "session": self.session_id,
+            "client": self.name,
+            "connected_s": round(now - self.opened_at, 3),
+            "last_seen_s": round(now - self.last_seen, 3),
+            "active_sweeps": sum(1 for s in sweeps if not s.settled),
+            "sweeps_done": self.sweeps_done,
+            "sweeps": [s.snapshot() for s in sweeps],
+        }
+
+
+class SessionRegistry:
+    """Allocates session/sweep ids and answers liveness/status queries."""
+
+    def __init__(self):
+        self._sessions = {}          # session_id -> Session
+        self._session_counter = 0
+        self._sweep_counter = 0
+
+    def __len__(self):
+        return len(self._sessions)
+
+    def create(self, connection, name=None):
+        self._session_counter += 1
+        session_id = f"s{self._session_counter:04d}"
+        session = Session(session_id, connection, name=name)
+        self._sessions[session_id] = session
+        return session
+
+    def next_sweep_id(self):
+        self._sweep_counter += 1
+        return f"w{self._sweep_counter:05d}"
+
+    def get(self, session_id):
+        return self._sessions.get(session_id)
+
+    def remove(self, session_id):
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            session.alive = False
+        return session
+
+    def live(self):
+        return [s for s in list(self._sessions.values()) if s.alive]
+
+    def expired(self, now, timeout):
+        """Sessions silent past ``timeout`` (vanished without a FIN)."""
+        return [s for s in list(self._sessions.values())
+                if s.alive and now - s.last_seen > timeout]
+
+    def snapshot(self, now):
+        return [session.snapshot(now)
+                for session in list(self._sessions.values())]

@@ -1,0 +1,207 @@
+"""Shared content-addressed result store (S3/NFS-style local-dir backend).
+
+A :class:`SharedStore` is the cross-coordinator sibling of
+:class:`~repro.jobs.cache.ResultCache`: the same content addressing
+(spec key + code salt), the same per-entry sha256 checksum over the
+canonical metrics JSON, the same corrupt-entry-degrades-to-miss policy
+-- but with a bucket-style layout designed to live on a path *every*
+coordinator can reach (an NFS mount, a FUSE-mounted object bucket):
+
+    <root>/v1/<salt>/<key[:2]>/<key>.json
+
+The two-hex-character shard directory keeps any one directory small
+(the S3 prefix idiom), which matters once millions of sweep points
+accumulate; ``v1`` versions the layout itself.  Entries are immutable
+-- a key's bytes are fully determined by its content hash -- so readers
+never need coordination, and writers only need atomic publication
+(temp file + rename) plus the shared/exclusive generation lock from
+:mod:`repro.jobs.cache` to stay safe against pruning.
+
+Because a restarted ``repro serve`` daemon reopens the same root, cache
+hits survive daemon restarts; because independent coordinators point at
+the same root, one client's sweep warms every other client's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+
+from ..jobs.cache import (code_salt, generation_lock, metrics_checksum)
+
+_ENV_STORE = "REPRO_STORE_DIR"
+_LAYOUT = "v1"
+
+
+def default_store_dir():
+    """``$REPRO_STORE_DIR``, or ``None`` -- there is no implicit store."""
+    return os.environ.get(_ENV_STORE) or None
+
+
+class SharedStore:
+    """Content-addressed ``JobSpec -> Metrics`` store on a shared path."""
+
+    def __init__(self, root, salt=None):
+        self.root = root
+        self.salt = salt or code_salt()
+        self.generation_dir = os.path.join(self.root, _LAYOUT, self.salt)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def _path(self, key):
+        return os.path.join(self.generation_dir, key[:2], f"{key}.json")
+
+    def _lock_root(self):
+        return os.path.join(self.root, _LAYOUT)
+
+    # ------------------------------------------------------------------
+    def _reject(self, key, reason):
+        """Corrupt entry: count, warn, drop the bytes, miss."""
+        self.corrupt += 1
+        self.misses += 1
+        warnings.warn(f"shared-store entry {key[:8]} is corrupt ({reason}); "
+                      f"treating as a miss", RuntimeWarning, stacklevel=3)
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass                 # concurrent eviction, read-only mount
+        return None
+
+    def get(self, spec):
+        """Stored :class:`Metrics` for ``spec``, or ``None``.
+
+        Same defect policy as the local cache: undecodable JSON, a
+        missing/mismatching checksum, or an unrebuildable payload all
+        degrade to a miss -- never an exception, never wrong metrics.
+        """
+        from ..harness.metrics import Metrics
+        key = spec.key
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return self._reject(key, "undecodable JSON")
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            return self._reject(key, "no metrics payload")
+        recorded = payload.get("sha256")
+        actual = metrics_checksum(payload["metrics"])
+        if recorded != actual:
+            return self._reject(
+                key, "checksum mismatch" if recorded else "no checksum")
+        try:
+            metrics = Metrics.from_dict(payload["metrics"])
+        except Exception as error:
+            return self._reject(key, f"schema mismatch: {error!r}")
+        self.hits += 1
+        return metrics
+
+    def put(self, spec, metrics):
+        """Publish ``metrics`` atomically under the shared lock.
+
+        Entries are immutable, so a concurrent writer publishing the
+        same key writes identical bytes and the rename race is benign.
+        """
+        key = spec.key
+        shard_dir = os.path.dirname(self._path(key))
+        os.makedirs(shard_dir, exist_ok=True)
+        metrics_dict = metrics.to_dict()
+        payload = {"spec": spec.to_dict(), "metrics": metrics_dict,
+                   "sha256": metrics_checksum(metrics_dict)}
+        with generation_lock(self._lock_root()):
+            fd, tmp_path = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_path, self._path(key))
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Per-generation entry/byte counts plus session hit accounting."""
+        layout_root = self._lock_root()
+        generations = {}
+        if os.path.isdir(layout_root):
+            for salt in sorted(os.listdir(layout_root)):
+                gen_dir = os.path.join(layout_root, salt)
+                if not os.path.isdir(gen_dir):
+                    continue
+                entries = 0
+                total = 0
+                for dirpath, _dirnames, filenames in os.walk(gen_dir):
+                    for name in filenames:
+                        if not name.endswith(".json"):
+                            continue
+                        entries += 1
+                        try:
+                            total += os.path.getsize(
+                                os.path.join(dirpath, name))
+                        except OSError:
+                            pass
+                generations[salt] = {"entries": entries, "bytes": total}
+        return {
+            "store_dir": self.root,
+            "current_salt": self.salt,
+            "generations": generations,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+            "session_corrupt": self.corrupt,
+        }
+
+    def prune(self):
+        """Drop stale generations (salt != current), under the lock."""
+        layout_root = self._lock_root()
+        removed = 0
+        if not os.path.isdir(layout_root):
+            return removed
+        with generation_lock(layout_root, exclusive=True):
+            for salt in os.listdir(layout_root):
+                gen_dir = os.path.join(layout_root, salt)
+                if salt == self.salt or not os.path.isdir(gen_dir):
+                    continue
+                for dirpath, _dirnames, filenames in os.walk(gen_dir,
+                                                             topdown=False):
+                    for filename in filenames:
+                        os.unlink(os.path.join(dirpath, filename))
+                        removed += 1
+                    os.rmdir(dirpath)
+        return removed
+
+
+class CacheStack:
+    """Layered cache: fast local :class:`ResultCache` over a shared store.
+
+    ``get`` consults layers in order and *backfills* upper layers on a
+    lower-layer hit (the second lookup is local); ``put`` publishes to
+    every layer, so a sweep run against a stack warms both the machine's
+    own cache and the fleet-wide store.  Quacks like a single cache for
+    :class:`~repro.jobs.executor.Executor`.
+    """
+
+    def __init__(self, *layers):
+        self.layers = [layer for layer in layers if layer is not None]
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec):
+        for depth, layer in enumerate(self.layers):
+            metrics = layer.get(spec)
+            if metrics is not None:
+                self.hits += 1
+                for upper in self.layers[:depth]:
+                    upper.put(spec, metrics)
+                return metrics
+        self.misses += 1
+        return None
+
+    def put(self, spec, metrics):
+        for layer in self.layers:
+            layer.put(spec, metrics)
