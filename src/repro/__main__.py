@@ -105,24 +105,43 @@ def cmd_all(args):
     return 0
 
 
+def _print_tier_stats(stats, label):
+    """One cache tier's generations, as `cache stats` has always shown."""
+    root = stats.get("cache_dir") or stats.get("store_dir")
+    print(f"{label:13s} {root}")
+    print(f"current salt  {stats['current_salt']}")
+    if not stats["generations"]:
+        print("entries       0")
+    for salt, info in stats["generations"].items():
+        marker = " (current)" if salt == stats["current_salt"] else ""
+        print(f"  {salt}{marker}: {info['entries']} entries, "
+              f"{info['bytes']:,} bytes")
+
+
 def cmd_cache(args):
+    from .serve.store import CacheStack, SharedStore
     action = args.workload or "stats"
-    cache = jobs.get_context().cache
+    context = jobs.get_context()
+    cache = context.cache
     if isinstance(cache, jobs.NullCache):
-        cache = jobs.ResultCache(jobs.get_context().cache_dir)
+        cache = jobs.ResultCache(context.cache_dir)
     if action == "stats":
-        stats = cache.stats()
-        print(f"cache dir     {stats['cache_dir']}")
-        print(f"current salt  {stats['current_salt']}")
-        if not stats["generations"]:
-            print("entries       0")
-        for salt, info in stats["generations"].items():
-            marker = " (current)" if salt == stats["current_salt"] else ""
-            print(f"  {salt}{marker}: {info['entries']} entries, "
-                  f"{info['bytes']:,} bytes")
-        ledger = jobs.RunLedger.read(jobs.get_context().ledger_path)
+        if isinstance(cache, CacheStack):
+            for layer in cache.layers:
+                label = ("shared store" if isinstance(layer, SharedStore)
+                         else "cache dir")
+                _print_tier_stats(layer.stats(), label)
+        else:
+            _print_tier_stats(cache.stats(), "cache dir")
+        ledger = jobs.RunLedger.read(context.ledger_path)
         print(f"ledger        {len(ledger)} run(s) recorded")
         return 0
+    # clear/prune operate on the machine-local tier; the shared store is
+    # fleet-wide state and gets its own lifecycle (serve daemon GC).
+    if isinstance(cache, CacheStack):
+        cache = next((layer for layer in cache.layers
+                      if isinstance(layer, jobs.ResultCache)), None) \
+            or jobs.ResultCache(context.cache_dir)
     if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s)")
@@ -156,7 +175,8 @@ def cmd_bench(args):
                        repeats=args.repeats,
                        fast_forward=not args.no_fast_forward,
                        profile=args.profile,
-                       progress=lambda line: print(line, file=sys.stderr))
+                       progress=lambda line: print(line, file=sys.stderr),
+                       lanes=args.lanes or 8)
     print(render_report(report))
     path = write_report(report, args.label, bench_dir=args.bench_dir)
     print(f"[saved -> {path}]")
@@ -321,6 +341,8 @@ def cmd_cluster(args):
             return 2
         from .cluster import Worker
         kwargs = {"max_jobs": args.max_jobs, "reconnect": args.reconnect}
+        if args.lanes:
+            kwargs["lanes"] = args.lanes
         if args.secret:              # else fall back to $REPRO_CLUSTER_SECRET
             kwargs["secret"] = args.secret
         tls = _client_tls(args)
@@ -375,7 +397,7 @@ def cmd_serve(args):
     daemon = ServeDaemon(host=host, port=port, store=store,
                          ledger=context.ledger, tls=tls,
                          job_timeout=args.job_timeout, **kwargs)
-    daemon.start(workers=args.workers)
+    daemon.start(workers=args.workers, lanes=args.lanes)
     print(f"[serve] daemon on {daemon.address} "
           f"(tls={'on' if tls else 'off'}, "
           f"store={store_dir or 'disabled'}, "
@@ -519,12 +541,19 @@ def main(argv=None):
     parser.add_argument("--max-bytes", type=int, default=None, metavar="N",
                         help="cache prune: evict oldest current-generation "
                              "entries until the generation fits in N bytes")
-    parser.add_argument("--backend", choices=("local", "cluster", "serve"),
+    parser.add_argument("--backend",
+                        choices=("local", "lanes", "cluster", "serve"),
                         default="local",
                         help="executor backend for sweeps: `local` process "
-                             "pool (default), `cluster` TCP workers, or "
+                             "pool (default), `lanes` in-process batch "
+                             "lanes (--lanes), `cluster` TCP workers, or "
                              "`serve` (submit to a running daemon; "
                              "--connect)")
+    parser.add_argument("--lanes", type=int, default=0, metavar="N",
+                        help="batch-lane width: run up to N sims in "
+                             "lockstep inside one process (implies "
+                             "--backend lanes; also sets a cluster "
+                             "worker's lane capacity)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
                         help="cluster backend / serve daemon: loopback "
                              "worker processes to spawn (0 = wait for "
@@ -617,7 +646,8 @@ def main(argv=None):
         serve=serve_options,
         store=args.store,
         resume=args.resume,
-        on_failure="report" if args.keep_going else "raise")
+        on_failure="report" if args.keep_going else "raise",
+        lanes=args.lanes)
 
     try:
         if args.command == "list":

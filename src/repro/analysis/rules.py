@@ -66,7 +66,7 @@ _GLOBAL_NP_RANDOM_FUNCS = frozenset({
 #: wall-clock reads are legitimate: infrastructure that measures host
 #: time, never simulated time.
 TIME_EXEMPT_PREFIXES = ("jobs/", "bench/", "analysis/", "cluster/",
-                        "faults/", "serve/", "__main__")
+                        "faults/", "serve/", "lanes/", "__main__")
 
 #: Base classes that mark a class as a runahead engine for the
 #: quiescence-contract rule, plus a naming convention fallback.

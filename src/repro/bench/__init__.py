@@ -8,8 +8,9 @@ a percentage regression threshold.
 """
 
 from .harness import (compare_reports, load_report, render_report,
-                      run_bench, write_report)
-from .workloads import SMOKE_MATRIX, bench_config, build_case, build_chase
+                      run_bench, run_lanes_sweep, write_report)
+from .workloads import (SMOKE_MATRIX, bench_config, build_case, build_chase,
+                        lanes_sweep_specs, register_lanes_graph)
 
 __all__ = [
     "SMOKE_MATRIX",
@@ -17,8 +18,11 @@ __all__ = [
     "build_case",
     "build_chase",
     "compare_reports",
+    "lanes_sweep_specs",
     "load_report",
+    "register_lanes_graph",
     "render_report",
     "run_bench",
+    "run_lanes_sweep",
     "write_report",
 ]

@@ -48,18 +48,28 @@ class ClusterError(RuntimeError):
 
 
 class WorkerHandle:
-    """Coordinator-side state for one connected worker."""
+    """Coordinator-side state for one connected worker.
 
-    def __init__(self, connection, name, host=None, pid=None):
+    A worker holds up to ``lanes`` concurrent leases (it declared the
+    capacity in its HELLO; plain workers say 1, batch-lane workers more).
+    The lease ``deadline`` is per-worker, not per-job: it is armed when a
+    job is leased and refreshed every time a result lands, so it bounds
+    *time without progress* -- the natural generalization of the old
+    one-lease expiry, which a lockstep batch (where every job's wall
+    clock covers the whole batch) would otherwise trip constantly.
+    """
+
+    def __init__(self, connection, name, host=None, pid=None, lanes=1):
         self.connection = connection
         self.name = name
         self.host = host
         self.pid = pid
+        self.lanes = max(1, int(lanes or 1))
         self.last_seen = time.monotonic()
         self.alive = True
         self.killing = False         # close() issued, death event pending
-        self.job = None              # leased _Job, or None when idle
-        self.deadline = None         # monotonic lease expiry, or None
+        self.jobs = {}               # job key -> leased _Job
+        self.deadline = None         # monotonic progress expiry, or None
         self.done = 0
 
     @property
@@ -353,7 +363,8 @@ class Coordinator:
             connection.close()
             return
         worker = WorkerHandle(connection, name=hello.get("worker"),
-                              host=hello.get("host"), pid=hello.get("pid"))
+                              host=hello.get("host"), pid=hello.get("pid"),
+                              lanes=hello.get("lanes", 1))
         with self._lock:
             self._workers.append(worker)
         try:
@@ -457,12 +468,13 @@ class Coordinator:
             if kind == "join":
                 continue
             if kind == "result":
-                job = worker.job
-                worker.job = None
-                worker.deadline = None
-                worker.done += 1
                 key = payload.get("job_id")
-                if job is None or job.key != key or key in completed \
+                job = worker.jobs.pop(key, None)
+                worker.deadline = (time.monotonic() + self.job_timeout
+                                   if worker.jobs and self.job_timeout
+                                   else None)
+                worker.done += 1
+                if job is None or key in completed \
                         or key in failed or key not in by_key:
                     continue               # stale result from a prior run
                 if payload.get("ok"):
@@ -480,13 +492,15 @@ class Coordinator:
                     if worker in self._workers:
                         self._workers.remove(worker)
                 worker.connection.close()
-                job = worker.job
-                worker.job = None
+                lost = list(worker.jobs.values())
+                worker.jobs.clear()
                 worker.deadline = None
-                if job is not None and job.key not in completed \
-                        and job.key not in failed and job.key in by_key:
-                    settle(job, f"worker {worker.label} {kind}: {payload}",
-                           time.monotonic())
+                for job in lost:
+                    if job.key not in completed and job.key not in failed \
+                            and job.key in by_key:
+                        settle(job,
+                               f"worker {worker.label} {kind}: {payload}",
+                               time.monotonic())
         self._progress.update(done=len(completed), failed=len(failed),
                               running=0, queued=0)
         return failed
@@ -503,29 +517,39 @@ class Coordinator:
         return expired
 
     def _dispatch(self, ready, now):
-        """Lease the highest-priority eligible job to each idle worker."""
-        for worker in self.live_workers():
-            if worker.job is not None or worker.killing:
-                continue
-            job = None
-            for candidate in ready:
-                if candidate.not_before <= now:
-                    job = candidate
-                    break
-            if job is None:
-                return
-            try:
-                worker.connection.send(JOB, job_id=job.key,
-                                       spec=job.spec.to_dict())
-            except OSError as error:
-                worker.killing = True
-                worker.connection.close()
-                self._events.put(("dead", worker, f"send failed: {error}"))
-                continue
-            ready.remove(job)
-            worker.job = job
-            worker.deadline = (now + self.job_timeout
-                               if self.job_timeout else None)
+        """Lease highest-priority eligible jobs onto free worker lanes.
+
+        Breadth-first: one job per worker per pass, so a sweep smaller
+        than the fleet's total lane count spreads across workers instead
+        of filling the first batch worker's lanes end-to-end.
+        """
+        leased = True
+        while leased:
+            leased = False
+            for worker in self.live_workers():
+                if worker.killing or len(worker.jobs) >= worker.lanes:
+                    continue
+                job = None
+                for candidate in ready:
+                    if candidate.not_before <= now:
+                        job = candidate
+                        break
+                if job is None:
+                    return
+                try:
+                    worker.connection.send(JOB, job_id=job.key,
+                                           spec=job.spec.to_dict())
+                except OSError as error:
+                    worker.killing = True
+                    worker.connection.close()
+                    self._events.put(("dead", worker,
+                                      f"send failed: {error}"))
+                    continue
+                ready.remove(job)
+                worker.jobs[job.key] = job
+                worker.deadline = (now + self.job_timeout
+                                   if self.job_timeout else None)
+                leased = True
 
     # -- introspection -------------------------------------------------
     def status(self):
@@ -535,7 +559,9 @@ class Coordinator:
                 "name": worker.label,
                 "host": worker.host,
                 "pid": worker.pid,
-                "state": "busy" if worker.job is not None else "idle",
+                "state": "busy" if worker.jobs else "idle",
+                "lanes": worker.lanes,
+                "active_jobs": len(worker.jobs),
                 "jobs_done": worker.done,
                 "last_seen_s": round(now - worker.last_seen, 3),
             } for worker in self._workers if worker.alive]

@@ -31,11 +31,32 @@ def longest_first(specs, cost_model):
 def cost_model_for(ledger):
     """A :class:`CostModel` learned from an executor's ledger, if any.
 
-    ``NullLedger`` (no path) or a ledger file that does not exist yet
+    The fitted rates are persisted to a ``costmodel.json`` sidecar next
+    to the ledger, and a fresh fit starts from that sidecar -- so a new
+    coordinator or daemon process (or one whose ledger was pruned)
+    starts warm.  The sidecar records how many ledger rows it has
+    folded; only the ledger's new suffix is folded on top, never the
+    already-counted history.  ``NullLedger`` (no path) with no sidecar
     yields ``None``: scheduling falls back to enumeration order.
     """
+    from ..jobs.ledger import RunLedger
     from .costmodel import CostModel
     path = getattr(ledger, "path", None)
-    if not path or not os.path.exists(path):
+    if not path:
         return None
-    return CostModel.from_ledger(path)
+    sidecar = os.path.join(os.path.dirname(path) or ".", "costmodel.json")
+    model, seen = CostModel.load(sidecar)
+    records = RunLedger.read(path) if os.path.exists(path) else []
+    if model is None:
+        if not records:
+            return None
+        model = CostModel.from_records(records)
+    else:
+        folded = (seen["rows"] if seen and seen.get("path") == path
+                  and seen["rows"] <= len(records) else 0)
+        model.fold_records(records[folded:])
+    try:
+        model.save(sidecar, ledger_path=path, ledger_rows=len(records))
+    except OSError:
+        pass                         # read-only cache dir: hint only
+    return model

@@ -51,20 +51,26 @@ def build_sim(built, config):
                    sanitizer=sanitizer)
 
 
-def run_built(built, config):
-    """Simulate an already-built workload instance."""
-    core = build_sim(built, config)
-    hierarchy, engine = core.hierarchy, core.engine
-    core_stats = core.run()
+def collect_metrics(built, config, core):
+    """Package a finished core (``run()`` or ``finish()`` done) as Metrics."""
+    hierarchy = core.hierarchy
+    core_stats = core.stats
     return Metrics(
         workload=built.name,
         technique=config.technique,
         core_stats=core_stats,
         mem_stats=hierarchy.stats,
         mlp=hierarchy.mlp(core_stats.cycles),
-        engine_stats=engine.stats(),
+        engine_stats=core.engine.stats(),
         config=config,
     )
+
+
+def run_built(built, config):
+    """Simulate an already-built workload instance."""
+    core = build_sim(built, config)
+    core.run()
+    return collect_metrics(built, config, core)
 
 
 def run_workload(workload, config=None, technique=None, seed=12345):
@@ -84,13 +90,12 @@ def run_workload(workload, config=None, technique=None, seed=12345):
     return run_built(built, config)
 
 
-def run_spec(spec):
-    """Run one :class:`~repro.jobs.spec.JobSpec`; works in any process.
+def build_spec_workload(spec):
+    """Register inputs + build the workload for one spec (no simulation).
 
-    This is the executor's (and worker processes') entry point: it
-    re-registers named graph inputs from the spec's fingerprint when the
-    worker's registry doesn't have them (e.g. inputs registered at runtime
-    by tests or notebooks), rebuilds the workload by name, and simulates.
+    The construction half of :func:`run_spec`, exposed separately so the
+    batch-lane executor can build a spec's workload once and clone the
+    result across lanes that share it.
     """
     from ..workloads import make_workload
     graph_data = spec.inputs.get("graph")
@@ -99,7 +104,19 @@ def run_spec(spec):
         if spec.params.get("graph") not in GRAPH_INPUTS:
             GRAPH_INPUTS[graph_data["name"]] = GraphSpec(**graph_data)
     workload = make_workload(spec.workload, **spec.params)
-    return run_workload(workload, spec.config, seed=spec.seed)
+    return workload.build(
+        memory_bytes=spec.config.memsys.guest_memory_bytes, seed=spec.seed)
+
+
+def run_spec(spec):
+    """Run one :class:`~repro.jobs.spec.JobSpec`; works in any process.
+
+    This is the executor's (and worker processes') entry point: it
+    re-registers named graph inputs from the spec's fingerprint when the
+    worker's registry doesn't have them (e.g. inputs registered at runtime
+    by tests or notebooks), rebuilds the workload by name, and simulates.
+    """
+    return run_built(build_spec_workload(spec), spec.config)
 
 
 def run_techniques(workload, techniques, config=None, seed=12345):

@@ -1,0 +1,21 @@
+"""Batch-lane lockstep simulation: step N sims per Python iteration.
+
+A sweep is an embarrassingly parallel set of independent simulator
+instances; running them one nested event loop at a time pays full
+per-job construction and scheduling overhead for every spec.  This
+package runs up to N instances ("lanes") inside one process with a
+single Python-level scheduler loop advancing every live lane per
+iteration, sharing built-workload templates between lanes that differ
+only in technique, and retiring lanes independently as each hits its
+instruction limit.  Metrics are bit-identical to the serial path.
+
+:class:`LaneBatch` is the scheduler; :class:`BatchExecutor` wraps it in
+the standard :class:`~repro.jobs.executor.Executor` contract (dedup,
+cache, ledger, retries unchanged).
+"""
+
+from .batch import DEFAULT_STEP, Lane, LaneBatch, clone_built, template_key
+from .executor import BatchExecutor
+
+__all__ = ["BatchExecutor", "DEFAULT_STEP", "Lane", "LaneBatch",
+           "clone_built", "template_key"]

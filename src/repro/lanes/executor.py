@@ -1,0 +1,62 @@
+"""BatchExecutor: the Executor contract on top of LaneBatch.
+
+Dedup, cache lookup, resume, the ledger and the retry story are all
+inherited untouched from :class:`~repro.jobs.executor.Executor`; only
+the backend hook (``_run_pending``) changes -- cache misses run as one
+lockstep lane batch instead of one nested event loop per job.  A lane
+that fails (construction error, sanitizer assertion, model bug) goes
+through the standard one-retry-in-parent path, which re-runs the spec
+serially via :func:`~repro.harness.runner.run_spec` -- the reference
+implementation the batch is bit-identical to.
+"""
+
+from __future__ import annotations
+
+from ..jobs.executor import Executor
+from .batch import DEFAULT_STEP, LaneBatch, template_key
+
+
+class BatchExecutor(Executor):
+    """Run cache misses as up to ``lanes`` lockstep in-process sims."""
+
+    def __init__(self, lanes=8, step=DEFAULT_STEP, **kwargs):
+        super().__init__(**kwargs)
+        self.lanes = max(1, int(lanes))
+        self.step = step
+
+    def _run_pending(self, pending, unique, results, cached):
+        ordered = self._batch_order(self._schedule(pending))
+        failed = []
+
+        def on_finish(lane):
+            if lane.status == "done":
+                self._finish_job(lane.spec, lane.metrics, unique, results,
+                                 cached, wall_s=lane.wall_s,
+                                 worker=f"lane{lane.index}", status="ok")
+            else:
+                failed.append(lane)
+
+        LaneBatch(ordered, lanes=self.lanes, step=self.step).run(on_finish)
+        for lane in failed:
+            try:
+                metrics, wall_s = self._retry_in_parent(lane.spec, lane.error)
+            except Exception as failure:    # JobError: raise or report
+                self._give_up(lane.spec, failure, 2, unique, results, cached)
+                continue
+            self._finish_job(lane.spec, metrics, unique, results, cached,
+                             wall_s=wall_s, worker="parent",
+                             status="retried", retries=1)
+
+    @staticmethod
+    def _batch_order(specs):
+        """Group specs sharing a build template, keeping schedule order.
+
+        Template sharing works at any distance (the store is
+        reference-counted), but adjacency bounds how long each pristine
+        template stays resident.  Groups keep the longest-first order of
+        their first member; specs keep their order within a group.
+        """
+        groups = {}
+        for spec in specs:
+            groups.setdefault(template_key(spec), []).append(spec)
+        return [spec for group in groups.values() for spec in group]

@@ -96,15 +96,21 @@ class ServeDaemon:
     def address(self):
         return self.coordinator.address
 
-    def start(self, workers=0):
-        """Bind, start the scheduler, optionally spawn loopback workers."""
+    def start(self, workers=0, lanes=0):
+        """Bind, start the scheduler, optionally spawn loopback workers.
+
+        ``lanes`` > 1 spawns batch-lane workers: each holds that many
+        concurrent leases and runs them as one lockstep
+        :class:`~repro.lanes.batch.LaneBatch`.
+        """
         self.coordinator.start()
         self._started_at = time.monotonic()
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="serve-scheduler", daemon=True)
         self._scheduler.start()
         if workers:
-            self.coordinator.spawn_local_workers(workers)
+            extra = ("--lanes", str(lanes)) if lanes else ()
+            self.coordinator.spawn_local_workers(workers, extra_args=extra)
             self.coordinator.wait_for_workers(1)
         return self.coordinator.host, self.coordinator.port
 
@@ -238,25 +244,35 @@ class ServeDaemon:
                 self._log(f"error handling {kind!r} event: {error!r}")
 
     def _dispatch(self, now):
-        """Lease the fair-share queue's next job to each idle worker."""
-        for worker in self.coordinator.live_workers():
-            if worker.job is not None or worker.killing:
-                continue
-            job = self.queue.next_job(now)
-            if job is None:
-                return
-            try:
-                worker.connection.send(JOB, job_id=job.key,
-                                       spec=job.spec.to_dict())
-            except OSError as error:
-                self.queue.add(job, front=True)
-                worker.killing = True
-                worker.connection.close()
-                self._events().put(("dead", worker, f"send failed: {error}"))
-                continue
-            worker.job = job
-            worker.deadline = (now + self.coordinator.job_timeout
-                               if self.coordinator.job_timeout else None)
+        """Lease the fair-share queue's next jobs onto free worker lanes.
+
+        Breadth-first across workers, like the per-sweep coordinator:
+        one job per worker per pass until every lane is full or the
+        queue runs dry.
+        """
+        leased = True
+        while leased:
+            leased = False
+            for worker in self.coordinator.live_workers():
+                if worker.killing or len(worker.jobs) >= worker.lanes:
+                    continue
+                job = self.queue.next_job(now)
+                if job is None:
+                    return
+                try:
+                    worker.connection.send(JOB, job_id=job.key,
+                                           spec=job.spec.to_dict())
+                except OSError as error:
+                    self.queue.add(job, front=True)
+                    worker.killing = True
+                    worker.connection.close()
+                    self._events().put(("dead", worker,
+                                        f"send failed: {error}"))
+                    continue
+                worker.jobs[job.key] = job
+                worker.deadline = (now + self.coordinator.job_timeout
+                                   if self.coordinator.job_timeout else None)
+                leased = True
 
     # -- sweep submission ----------------------------------------------
     def _cost_model_lazy(self):
@@ -319,12 +335,13 @@ class ServeDaemon:
 
     # -- results -------------------------------------------------------
     def _on_result(self, worker, payload):
-        job = worker.job
-        worker.job = None
-        worker.deadline = None
-        worker.done += 1
         key = payload.get("job_id")
-        if job is None or job.key != key or self._inflight.get(key) is not job:
+        job = worker.jobs.pop(key, None)
+        timeout = self.coordinator.job_timeout
+        worker.deadline = (time.monotonic() + timeout
+                           if worker.jobs and timeout else None)
+        worker.done += 1
+        if job is None or self._inflight.get(key) is not job:
             return                   # stale result from a reassigned lease
         if payload.get("ok"):
             from ..harness.metrics import Metrics
@@ -351,14 +368,15 @@ class ServeDaemon:
             if worker in coordinator._workers:
                 coordinator._workers.remove(worker)
         worker.connection.close()
-        job = worker.job
-        worker.job = None
+        lost = list(worker.jobs.values())
+        worker.jobs.clear()
         worker.deadline = None
         self._log(f"worker {worker.label} {kind}: {payload} "
                   f"(fleet={len(coordinator.live_workers())})")
-        if job is not None and self._inflight.get(job.key) is job:
-            self._settle_failure(
-                job, f"worker {worker.label} {kind}: {payload}")
+        for job in lost:
+            if self._inflight.get(job.key) is job:
+                self._settle_failure(
+                    job, f"worker {worker.label} {kind}: {payload}")
 
     def _live_watchers(self, key):
         """Interest entries whose session is still connected."""
@@ -495,7 +513,7 @@ class ServeDaemon:
             "protocol": PROTOCOL_VERSION,
             "tls": self.coordinator.tls is not None,
             "fleet": len(live),
-            "active_jobs": sum(1 for w in live if w.job is not None),
+            "active_jobs": sum(len(w.jobs) for w in live),
             "queued_jobs": len(self.queue),
             "sessions": self.registry.snapshot(now),
         }

@@ -205,3 +205,11 @@ class CacheStack:
     def put(self, spec, metrics):
         for layer in self.layers:
             layer.put(spec, metrics)
+
+    def stats(self):
+        """Stack-level hit accounting plus every tier's own stats dict."""
+        return {
+            "layers": [layer.stats() for layer in self.layers],
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }

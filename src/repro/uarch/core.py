@@ -149,14 +149,53 @@ class OoOCore:
         self._producer_table = [None] * 32
         self._program_done = False
         self._l1_latency = config.memsys.l1d.latency
+        # Armed by start(); defaults let advance() work without it.
+        self._limit = config.max_instructions
+        self._max_cycles = self._limit * 3000 + 2_000_000
 
     # ------------------------------------------------------------------
     def run(self, max_instructions=None):
-        limit = max_instructions or self.config.max_instructions
-        max_cycles = limit * 3000 + 2_000_000
+        """Simulate to completion; equivalent to start + advance + finish."""
+        self.start(max_instructions)
+        self.advance()
+        return self.finish()
+
+    def start(self, max_instructions=None):
+        """Arm a run: pin the commit limit and the cycle safety budget.
+
+        Splitting ``run()`` into ``start``/``advance``/``finish`` lets an
+        external scheduler (the batch-lane executor) interleave many cores
+        without changing what any one core computes: ``advance`` only ever
+        pauses between whole cycles, so slicing is invisible to the model.
+        """
+        self._limit = max_instructions or self.config.max_instructions
+        self._max_cycles = self._limit * 3000 + 2_000_000
+        return self
+
+    @property
+    def finished(self):
+        stats = self.stats
+        return stats.halted or stats.committed >= self._limit
+
+    def advance(self, instructions=None):
+        """Run until ``instructions`` more commit (None = to completion).
+
+        Returns True while the run has more to do.  The fast-forward guard
+        tests the *run* limit, not the slice stop, so sliced execution is
+        bit-identical to an unsliced run -- including the fast-forward
+        span/cycle counters.
+        """
+        stats = self.stats
+        limit = self._limit
+        if instructions is None:
+            stop = limit
+        else:
+            stop = stats.committed + instructions
+            if stop > limit:
+                stop = limit
+        max_cycles = self._max_cycles
         fast_forward = self.config.fast_forward
         # Hot loop: every per-cycle callee is hoisted to a local once.
-        stats = self.stats
         ports = self.ports
         writeback = self._writeback
         commit = self._commit
@@ -166,7 +205,7 @@ class OoOCore:
         hierarchy_tick = self.hierarchy.tick
         new_cycle = ports.new_cycle
         quiescent = self._quiescent
-        while stats.committed < limit and not stats.halted:
+        while stats.committed < stop and not stats.halted:
             now = self.now + 1
             self.now = now
             if now > max_cycles:
@@ -185,6 +224,11 @@ class OoOCore:
             if fast_forward and stats.committed < limit \
                     and not stats.halted and quiescent(now):
                 self._fast_forward(now, max_cycles)
+        return not (stats.halted or stats.committed >= limit)
+
+    def finish(self):
+        """Seal per-run totals into stats (idempotent) and return them."""
+        stats = self.stats
         stats.cycles = self.now
         stats.branch_lookups = self.predictor.lookups
         stats.branch_mispredicts = self.predictor.mispredicts
@@ -309,35 +353,44 @@ class OoOCore:
                 self._fetch_resume = now + self.core_cfg.frontend_stages
 
     def _commit(self):
+        # Hoisted like _issue/_writeback: stats/engine/config lookups once
+        # per cycle, committed totalled locally, len(rob) computed once
+        # (commit never appends).
         committed = 0
-        width = self.core_cfg.width
-        rob, head = self._rob, self._rob_head
-        head0 = head
+        stats = self.stats
+        rob = self._rob
+        head = head0 = self._rob_head
+        rob_len = len(rob)
         blocked_by_engine = False
-        while committed < width and head < len(rob):
-            dyn = rob[head]
-            if not dyn.completed:
-                break
-            if self.engine.blocks_commit(self.now):
-                blocked_by_engine = True
-                break
-            head += 1
-            committed += 1
-            self.stats.committed += 1
-            if dyn.ins.is_store:
-                self._sq_count -= 1
-            if dyn.ins.op == Op.HALT:
-                self.stats.halted = True
-                break
+        if head < rob_len:
+            width = self.core_cfg.width
+            now = self.now
+            blocks_commit = self.engine.blocks_commit
+            while committed < width and head < rob_len:
+                dyn = rob[head]
+                if not dyn.completed:
+                    break
+                if blocks_commit(now):
+                    blocked_by_engine = True
+                    break
+                head += 1
+                committed += 1
+                ins = dyn.ins
+                if ins.is_store:
+                    self._sq_count -= 1
+                if ins.op == Op.HALT:
+                    stats.halted = True
+                    break
+            stats.committed += committed
         if blocked_by_engine and committed == 0:
-            self.stats.commit_blocked_runahead += 1
+            stats.commit_blocked_runahead += 1
         # CPI-stack attribution for this cycle's commit slots.
-        breakdown = self.stats.cycle_breakdown
+        breakdown = stats.cycle_breakdown
         if committed > 0:
             breakdown["base"] += 1
         elif blocked_by_engine:
             breakdown["runahead"] += 1
-        elif head >= len(rob):
+        elif head >= rob_len:
             breakdown["frontend"] += 1
         else:
             stalled = rob[head]
@@ -444,62 +497,101 @@ class OoOCore:
 
     # ------------------------------------------------------------------
     def _dispatch(self):
+        now = self.now
+        engine = self.engine
         if (self._program_done or self._waiting_branch is not None
-                or self.now < self._fetch_resume
-                or self.engine.blocks_dispatch(self.now)):
+                or now < self._fetch_resume
+                or engine.blocks_dispatch(now)):
             self._check_rob_stall()
             return
+        # First-iteration gates, checked before the hoist block: on a
+        # stall cycle (ROB or IQ full, front load/store blocked on its
+        # queue) dispatch does no work, and stall cycles dominate the
+        # memory-bound runs this simulator exists for -- resolving a
+        # dozen locals on every one of them costs more than the loop
+        # they accelerate.
         cfg = self.core_cfg
+        rob = self._rob
+        rob_head = self._rob_head
+        if len(rob) - rob_head >= cfg.rob_size:
+            self._check_rob_stall(count=True)
+            return
+        if self._iq_count >= cfg.issue_queue_size:
+            return
+        instructions = self.program.instructions
+        ins = instructions[self.pc]
+        if ins.is_load and self._lq_count >= cfg.load_queue_size:
+            return
+        if ins.is_store and self._sq_count >= cfg.store_queue_size:
+            return
+        # Hoisted like _issue/_writeback: config bounds, the instruction
+        # list, guest state, and per-instruction callees resolve once per
+        # cycle instead of once per dispatched instruction.  ``self.pc``
+        # and the occupancy counters stay live on self because engine
+        # hooks (on_dispatch) may read them mid-group.
+        width = cfg.width
+        rob_size = cfg.rob_size
+        iq_size = cfg.issue_queue_size
+        lq_size = cfg.load_queue_size
+        sq_size = cfg.store_queue_size
+        regs = self.regs
+        mem = self.mem
+        stats = self.stats
+        producers = self._producer_table
+        ready = self._ready
+        heappush = heapq.heappush
+        predictor = self.predictor
+        on_dispatch = engine.on_dispatch
+        trace = self.trace
         dispatched = 0
-        while dispatched < cfg.width:
-            if self.rob_occupancy() >= cfg.rob_size:
+        while dispatched < width:
+            if len(rob) - rob_head >= rob_size:
                 self._check_rob_stall(count=True)
                 break
-            if self._iq_count >= cfg.issue_queue_size:
+            if self._iq_count >= iq_size:
                 break
-            ins = self.program.instructions[self.pc]
-            if ins.is_load and self._lq_count >= cfg.load_queue_size:
+            ins = instructions[self.pc]
+            if ins.is_load and self._lq_count >= lq_size:
                 break
-            if ins.is_store and self._sq_count >= cfg.store_queue_size:
+            if ins.is_store and self._sq_count >= sq_size:
                 break
-            dyn = DynIns(self._seq, ins, self.now)
+            dyn = DynIns(self._seq, ins, now)
             self._seq += 1
             # Operand dependence tracking (rename equivalent).
-            producers = self._producers
             for reg in ins.srcs:
                 producer = producers[reg]
                 if producer is not None and not producer.completed:
                     dyn.pending += 1
                     producer.dependents.append(dyn)
             # Functional execution at the dispatch frontier.
-            next_pc, addr = execute(ins, self.regs, self.mem)
+            next_pc, addr = execute(ins, regs, mem)
             dyn.mem_addr = addr
             if ins.is_load:
-                dyn.value = self.regs[ins.rd]
+                dyn.value = regs[ins.rd]
                 self._lq_count += 1
             elif ins.is_store:
                 self._sq_count += 1
             if ins.rd >= 0:
                 producers[ins.rd] = dyn
-            self._rob.append(dyn)
+            rob.append(dyn)
             self._iq_count += 1
-            self.stats.dispatched += 1
+            stats.dispatched += 1
             dispatched += 1
             if dyn.pending == 0:
-                heapq.heappush(self._ready, (dyn.seq, dyn))
+                heappush(ready, (dyn.seq, dyn))
             mispredicted = False
             if ins.is_cond_branch:
                 taken = next_pc != ins.pc + 1
                 dyn.taken = taken
-                prediction, info = self.predictor.predict(ins.pc)
-                self.predictor.update(ins.pc, taken, prediction, info)
+                prediction, info = predictor.predict(ins.pc)
+                predictor.update(ins.pc, taken, prediction, info)
                 if prediction != taken:
                     dyn.mispredicted = True
                     self._waiting_branch = dyn
                     mispredicted = True
-            self.engine.on_dispatch(dyn, self)
-            if self.trace is not None:
-                self.trace.on_dispatch(dyn, self.now)
+            on_dispatch(dyn, self)
+            if trace is not None:
+                trace.on_dispatch(dyn, now)
             self.pc = next_pc
             if ins.op == Op.HALT:
                 self._program_done = True

@@ -1,10 +1,11 @@
 """Backend-independent contract tests for the executor family.
 
-``Executor`` (serial and process-pool) and ``ClusterExecutor`` must be
-interchangeable behind ``run(specs) -> [Metrics]``: same dedup semantics,
-same cache accounting, same input-order alignment, same one-retry story
-when a job crashes, and the same ``JobError`` when a job is truly broken.
-These tests run the identical assertions against all three backends.
+``Executor`` (serial and process-pool), ``BatchExecutor`` (lockstep
+lanes) and ``ClusterExecutor`` must be interchangeable behind
+``run(specs) -> [Metrics]``: same dedup semantics, same cache
+accounting, same input-order alignment, same one-retry story when a job
+crashes, and the same ``JobError`` when a job is truly broken.  These
+tests run the identical assertions against all four backends.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from repro.harness.runner import run_spec
 from repro.jobs import (Executor, JobError, JobSpec, NullCache, ResultCache,
                         RunLedger)
 
-BACKENDS = ("serial", "pool", "cluster")
+BACKENDS = ("serial", "pool", "lanes", "cluster")
 
 
 def _spec(workload="nas-is", technique=TECH_OOO, seed=1,
@@ -71,6 +72,10 @@ def make_executor(backend, tmp_path):
         if backend == "pool":
             return Executor(jobs=2, cache=cache, ledger=ledger_obj,
                             progress=_Quiet())
+        if backend == "lanes":
+            from repro.lanes import BatchExecutor
+            return BatchExecutor(lanes=4, cache=cache, ledger=ledger_obj,
+                                 progress=_Quiet())
         # Injected faults (dropped results, crashes) need the lease
         # timeout + heartbeat machinery to actually run, not sit out a
         # 120s timeout.
@@ -153,6 +158,19 @@ def test_duplicate_specs_dedup_survives_one_crash(make_executor, backend,
         pytest.skip("cross-process injection covered by the fake-pool tests")
     if backend == "serial":
         monkeypatch.setattr("repro.harness.runner.run_spec", flaky)
+    if backend == "lanes":
+        # Lanes never call run_spec; crash the lane at its build seam
+        # instead (the retry then runs serially in the parent).
+        import repro.lanes.batch as batch_mod
+        real_build = batch_mod.build_spec_workload
+
+        def flaky_build(spec):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("injected crash")
+            return real_build(spec)
+
+        monkeypatch.setattr(batch_mod, "build_spec_workload", flaky_build)
     ledger = RunLedger(str(tmp_path / "runs.jsonl"))
     executor = make_executor(ledger=ledger, run_job=flaky)
     duplicate = _spec(seed=11)

@@ -1,0 +1,194 @@
+"""Batch-lane lockstep simulation: equivalence and scheduling edge cases.
+
+The whole point of ``repro.lanes`` is that batching is *invisible*: a
+:class:`LaneBatch` computes, field for field, exactly what serial
+``run_spec`` calls would -- for every technique, at any lane count, with
+templates cloned instead of rebuilt.  These tests pin that equivalence
+plus the scheduling edges: ``lanes=1`` degenerates to serial, more lanes
+than jobs, a spec that retires inside its first slice, and one lane
+failing mid-batch without touching its neighbours.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.lanes.batch as batch_mod
+from repro.config import (SimConfig, TECH_DVR, TECH_OOO, TECH_PRE, TECH_VR)
+from repro.harness.metrics import _FIELDS
+from repro.harness.runner import run_spec
+from repro.jobs import Executor, JobSpec, NullCache, RunLedger
+from repro.lanes import BatchExecutor, LaneBatch, template_key
+
+
+def _spec(workload="nas-is", technique=TECH_OOO, seed=1,
+          max_instructions=1_200, **params):
+    config = SimConfig(max_instructions=max_instructions
+                       ).with_technique(technique)
+    return JobSpec(workload=workload, params=params, config=config,
+                   seed=seed)
+
+
+def _dumps(metrics):
+    return json.dumps(metrics.to_dict(), sort_keys=True)
+
+
+def _assert_identical(metrics, expected):
+    """Field-wise identity (Metrics has no __eq__ on purpose)."""
+    for name in _FIELDS:
+        assert getattr(metrics, name) == getattr(expected, name), name
+
+
+class _Quiet:
+    def update(self, done, total, spec, cached):
+        pass
+
+    def finish(self, total, cached, wall_s):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: lockstep == serial, template clones included
+# ---------------------------------------------------------------------------
+def test_lockstep_matches_serial_across_techniques(monkeypatch):
+    """One template, four techniques: every lane bit-matches run_spec.
+
+    The specs differ only in technique, so they share a build template
+    -- three of the four lanes run on *clones*, which is exactly the
+    path that must not perturb a single metric.
+    """
+    builds = []
+    real_build = batch_mod.build_spec_workload
+
+    def counting_build(spec):
+        builds.append(spec.key)
+        return real_build(spec)
+
+    monkeypatch.setattr(batch_mod, "build_spec_workload", counting_build)
+    specs = [_spec(technique=technique, seed=5)
+             for technique in (TECH_OOO, TECH_PRE, TECH_VR, TECH_DVR)]
+    assert len({template_key(spec) for spec in specs}) == 1
+    expected = [run_spec(spec) for spec in specs]
+
+    lanes = LaneBatch(specs, lanes=4, step=500).run()
+    assert len(builds) == 1               # one build, three clones
+    for lane, reference in zip(lanes, expected):
+        assert lane.status == "done"
+        _assert_identical(lane.metrics, reference)
+
+
+def test_interleaving_invariance_across_step_sizes():
+    """Slice size changes interleaving, never results."""
+    specs = [_spec(seed=6), _spec(technique=TECH_DVR, seed=6)]
+    reference = [_dumps(run_spec(spec)) for spec in specs]
+    for step in (100, 700, 10_000):
+        lanes = LaneBatch(specs, lanes=2, step=step).run()
+        assert [_dumps(lane.metrics) for lane in lanes] == reference
+
+
+def test_lanes_one_equals_serial_executor(tmp_path):
+    """``--lanes 1`` is the serial executor with extra steps, not more."""
+    specs = [_spec(seed=31), _spec(workload="kangaroo", seed=32),
+             _spec(technique=TECH_DVR, seed=33)]
+    serial = Executor(jobs=1, cache=NullCache(),
+                      progress=_Quiet()).run(specs)
+    banked = BatchExecutor(lanes=1, cache=NullCache(),
+                           progress=_Quiet()).run(specs)
+    assert [_dumps(metrics) for metrics in banked] == \
+        [_dumps(metrics) for metrics in serial]
+
+
+# ---------------------------------------------------------------------------
+# Scheduling edges
+# ---------------------------------------------------------------------------
+def test_more_lanes_than_jobs():
+    specs = [_spec(seed=11), _spec(seed=12)]
+    lanes = LaneBatch(specs, lanes=8).run()
+    assert [lane.status for lane in lanes] == ["done", "done"]
+    for lane, spec in zip(lanes, specs):
+        _assert_identical(lane.metrics, run_spec(spec))
+
+
+def test_spec_retiring_in_first_slice_frees_its_slot():
+    """A sub-slice spec retires on iteration one; the slot backfills.
+
+    With one lane and a step far above the short spec's instruction
+    budget, the short spec must finish inside its first ``advance`` call
+    and hand the slot to the pending spec -- the loop must not wedge on
+    an already-done lane.
+    """
+    short = _spec(seed=21, max_instructions=100)
+    long = _spec(seed=22, max_instructions=2_400)
+    order = []
+    lanes = LaneBatch([short, long], lanes=1, step=5_000,
+                      on_lane_start=lambda lane: order.append(
+                          lane.spec.seed)).run()
+    assert order == [21, 22]              # second started after first retired
+    assert [lane.status for lane in lanes] == ["done", "done"]
+    _assert_identical(lanes[0].metrics, run_spec(short))
+    _assert_identical(lanes[1].metrics, run_spec(long))
+
+
+def test_mid_batch_failure_is_isolated():
+    """One lane blowing up mid-flight leaves its neighbours bit-exact."""
+
+    class _Boom:
+        def advance(self, step):
+            raise RuntimeError("injected mid-batch failure")
+
+    specs = [_spec(seed=41), _spec(seed=42), _spec(seed=43)]
+
+    def sabotage(lane):
+        if lane.spec.seed == 42:
+            lane.core = _Boom()
+
+    finished = []
+    lanes = LaneBatch(specs, lanes=3, step=400,
+                      on_lane_start=sabotage).run(finished.append)
+    assert [lane.status for lane in lanes] == ["done", "failed", "done"]
+    assert isinstance(lanes[1].error, RuntimeError)
+    assert len(finished) == 3             # on_finish fired for every lane
+    _assert_identical(lanes[0].metrics, run_spec(specs[0]))
+    _assert_identical(lanes[2].metrics, run_spec(specs[2]))
+
+
+def test_construction_failure_reports_without_blocking_batch():
+    """An unbuildable spec fails at start; the rest of the batch runs."""
+    good = _spec(seed=51)
+    bad = _spec(workload="no-such-workload", seed=52)
+    lanes = LaneBatch([bad, good], lanes=2).run()
+    assert lanes[0].status == "failed"
+    assert lanes[0].error is not None
+    assert lanes[1].status == "done"
+    _assert_identical(lanes[1].metrics, run_spec(good))
+
+
+# ---------------------------------------------------------------------------
+# Executor-level retry of failed lanes
+# ---------------------------------------------------------------------------
+def test_batch_executor_retries_failed_lane_in_parent(monkeypatch, tmp_path):
+    """A lane that fails once re-runs serially through the retry path."""
+    failures = {"left": 1}
+    real_build = batch_mod.build_spec_workload
+
+    def flaky_build(spec):
+        if spec.seed == 62 and failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError("injected build crash")
+        return real_build(spec)
+
+    monkeypatch.setattr(batch_mod, "build_spec_workload", flaky_build)
+    ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+    executor = BatchExecutor(lanes=4, cache=NullCache(), ledger=ledger,
+                             progress=_Quiet())
+    specs = [_spec(seed=61), _spec(seed=62)]
+    results = executor.run(specs)
+    assert [_dumps(metrics) for metrics in results] == \
+        [_dumps(run_spec(spec)) for spec in specs]
+    by_key = {record["key"]: record for record in RunLedger.read(ledger.path)}
+    assert by_key[specs[0].key]["status"] == "ok"
+    assert by_key[specs[1].key]["status"] == "retried"
+    assert by_key[specs[1].key]["worker"] == "parent"
+    assert by_key[specs[1].key]["retries"] == 1
