@@ -515,6 +515,12 @@ def main(argv=None):
                         help="enable runtime invariant assertions "
                              "(repro.analysis; metrics are bit-identical "
                              "either way)")
+    parser.add_argument("--sanitize-threads", action="store_true",
+                        help="instrument cluster/serve locks: track the "
+                             "held-lock set per thread, fail on lock-order "
+                             "inversions and @guarded_by violations "
+                             "(repro.analysis.threadsan; metrics are "
+                             "bit-identical either way)")
     parser.add_argument("--fix", action="store_true",
                         help="lint: apply mechanical rewrites for fixable "
                              "findings, then re-lint")
@@ -619,6 +625,11 @@ def main(argv=None):
     parser.add_argument("--repeats", type=int, default=3,
                         help="bench: timing repetitions (best-of-N)")
     args = parser.parse_args(argv)
+
+    if args.sanitize_threads:
+        # Before any coordinator/daemon/worker constructs its locks.
+        from .analysis import threadsan
+        threadsan.enable()
 
     from .cluster import TLSConfig, TLSConfigError
 

@@ -16,8 +16,21 @@ deterministic and its microarchitectural invariants hold on every cycle:
   commit monotonicity, MSHR leak accounting, ROB/queue occupancy bounds,
   VRAT / reconvergence-stack limits, and a fast-forward cross-check.
 
-Surface: ``python -m repro lint [--fix] [--json PATH]`` and the
-``--sanitize`` flag on ``run`` / experiment / ``bench`` commands.
+The same split covers the *concurrent* infrastructure (cluster, serve):
+
+* a **static concurrency pass** (:mod:`repro.analysis.concurrency`)
+  discovers thread-spawn sites, computes which attributes escape to
+  multiple threads, infers each attribute's lock guard, and emits the
+  ``race-unguarded-write`` / ``race-no-guard`` / ``lock-order`` rules;
+* a **thread sanitizer** (:mod:`repro.analysis.threadsan`,
+  ``--sanitize-threads`` / ``REPRO_SANITIZE_THREADS=1``): instrumented
+  locks from :func:`make_lock` / :func:`make_rlock` track the held-lock
+  set per thread, detect lock-order inversions before they deadlock,
+  and enforce :func:`guarded_by` declarations.
+
+Surface: ``python -m repro lint [--fix] [--json PATH]``, the
+``--sanitize`` flag on ``run`` / experiment / ``bench`` commands, and
+``--sanitize-threads`` on the cluster/serve commands.
 
 ``ANALYSIS_VERSION`` names the rule catalogue; the ``repro.jobs`` ledger
 stamps it (plus the sanitize flag) into every record so results produced
@@ -27,6 +40,8 @@ by a pre-sanitizer tree remain distinguishable.
 from .linter import (ANALYSIS_VERSION, Finding, LintReport, iter_source_files,
                      lint_file, run_lint)
 from .sanitize import Sanitizer, SanitizerError
+from .threadsan import (ThreadSanitizer, ThreadSanitizerError, guarded_by,
+                        make_lock, make_rlock, thread_safe)
 
 __all__ = [
     "ANALYSIS_VERSION",
@@ -34,7 +49,13 @@ __all__ = [
     "LintReport",
     "Sanitizer",
     "SanitizerError",
+    "ThreadSanitizer",
+    "ThreadSanitizerError",
+    "guarded_by",
     "iter_source_files",
     "lint_file",
+    "make_lock",
+    "make_rlock",
     "run_lint",
+    "thread_safe",
 ]

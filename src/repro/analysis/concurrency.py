@@ -1,0 +1,551 @@
+"""Static concurrency analysis: guard inference, escape lint, lock order.
+
+The distributed stack (cluster coordinator, serve daemon, workers) is
+genuinely concurrent: accept/reader/heartbeat/scheduler threads share
+``self.``-state on a handful of classes.  The determinism rules cannot
+see a race -- a racy counter is still deterministic *code* -- so this
+pass reconstructs each class's threading structure from the AST:
+
+1. **Thread discovery.**  A method is a *thread entry* if it is passed
+   as a ``threading.Thread(target=self.m)`` target or registered as a
+   callback handler (``something.handler = self.m``) -- the two ways
+   this codebase hands a method to another thread.  A class with no
+   entries is single-threaded and skipped.
+2. **Escape analysis.**  Every ``self.<attr>`` access is attributed to
+   the set of threads that can reach its method: each entry's
+   transitive ``self.``-call closure is one context, and methods
+   callable from outside (public, or unreachable from any entry) form
+   the ``<main>`` context.  An attribute whose accesses span >= 2
+   contexts *escapes*.
+3. **Guard inference.**  Accesses lexically inside ``with self._lock:``
+   (or a method declared ``@guarded_by("_lock")``) are guarded by that
+   lock; the lock guarding the most accesses is the attribute's
+   inferred guard.
+
+Rule catalogue
+--------------
+``race-unguarded-write``  an escaping attribute has an inferred guard,
+                          but some write happens outside it.
+``race-no-guard``         an escaping attribute is *mutated* (augmented
+                          assignment, ``d[k] = v``, ``.append()`` & co)
+                          with no lock held at any access site.
+``lock-order``            two locks are statically nested in opposite
+                          orders (any cycle in the nesting graph): the
+                          AB/BA deadlock recipe.
+
+Deliberate precision limits (documented, not bugs): plain rebinds of
+constants (``self._closing = True``) are treated as benign flags;
+attributes holding intrinsically thread-safe objects (``queue.Queue``,
+``threading.Event``, locks themselves, classes declared
+``@thread_safe``) are exempt; ``__init__`` runs before the object is
+shared and is excluded from access accounting; happens-before edges
+other than "init precedes spawn" are not modeled, so a write that is
+sequenced before every ``Thread.start()`` may still be flagged --
+suppress with ``# repro: allow(...)`` where provably safe.
+
+The runtime half (:mod:`repro.analysis.threadsan`) checks the same
+discipline dynamically: instrumented locks, held-set tracking,
+acquisition-graph inversion detection, ``@guarded_by`` enforcement.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .linter import Finding, iter_source_files
+
+#: Main-thread context label (methods callable from outside the class).
+MAIN = "<main>"
+
+#: Constructors whose result is a lock (guards, exempt from escape).
+_LOCK_CONSTRUCTORS = frozenset({
+    "threading.Lock", "threading.RLock", "Lock", "RLock",
+    "make_lock", "make_rlock", "threadsan.make_lock",
+    "threadsan.make_rlock",
+})
+
+#: Constructors whose result is intrinsically thread-safe.
+_SAFE_CONSTRUCTORS = frozenset({
+    "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+    "queue.PriorityQueue", "Queue", "SimpleQueue",
+    "threading.Event", "Event", "threading.Condition", "Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "collections.deque", "deque",
+})
+
+#: Method names that mutate their receiver in place.  Calling one on an
+#: escaping attribute is a write; other method calls count as reads
+#: (a pure/mutating distinction is not statically decidable).
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+    "sort", "update",
+})
+
+_READ, _REBIND, _MUTATE = "read", "rebind", "mutate"
+
+
+def _dotted(node):
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Package-wide @thread_safe registry (cached per process)
+# ---------------------------------------------------------------------------
+_safe_class_cache = {}
+
+
+def safe_class_names(package_files=None):
+    """Names of ``@thread_safe``-decorated classes across the package.
+
+    The concurrency pass runs per file, but a thread-safe container
+    (e.g. the serve daemon's ``SessionRegistry``) is used from *other*
+    files; this one package-wide scan (cached) lets every file's pass
+    exempt attributes holding such instances.
+    """
+    key = "default" if package_files is None else tuple(package_files)
+    cached = _safe_class_cache.get(key)
+    if cached is not None:
+        return cached
+    names = set()
+    for path, _relpath in iter_source_files(package_files):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+        except (OSError, SyntaxError):
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                name = _dotted(decorator)
+                if name is not None and name.split(".")[-1] == "thread_safe":
+                    names.add(node.name)
+    _safe_class_cache[key] = names
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Per-class model
+# ---------------------------------------------------------------------------
+class _Access:
+    __slots__ = ("key", "method", "kind", "guards", "node", "const")
+
+    def __init__(self, key, method, kind, guards, node, const=False):
+        self.key = key               # dotted path, e.g. "self._stats"
+        self.method = method
+        self.kind = kind             # _READ | _REBIND | _MUTATE
+        self.guards = guards         # tuple of held lock keys (outermost first)
+        self.node = node
+        self.const = const           # rebind of a literal constant
+
+
+class _ClassModel:
+    """Everything the rules need to know about one class."""
+
+    def __init__(self, node):
+        self.node = node
+        self.methods = {
+            child.name: child for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        self.entries = set()         # thread-entry method names
+        self.calls = {}              # method -> set of self-methods called
+        self.lock_attrs = set()      # attr names assigned lock constructors
+        self.safe_attrs = set()      # attr names assigned thread-safe ctors
+        self.accesses = []           # [_Access] (``__init__`` excluded)
+        self.lock_edges = []         # [(outer key, inner key, node)]
+
+    def is_lock_key(self, key):
+        last = key.split(".")[-1]
+        return last in self.lock_attrs or last.endswith("lock")
+
+    # -- context computation -------------------------------------------
+    def _closure(self, roots):
+        reach, stack = set(roots), list(roots)
+        while stack:
+            for callee in self.calls.get(stack.pop(), ()):
+                if callee not in reach:
+                    reach.add(callee)
+                    stack.append(callee)
+        return reach
+
+    def contexts(self):
+        """method name -> frozenset of context labels."""
+        entry_reach = {e: self._closure([e]) for e in sorted(self.entries)}
+        covered = set()
+        for reach in entry_reach.values():
+            covered.update(reach)
+        main_roots = [m for m in self.methods
+                      if m not in self.entries
+                      and (not m.startswith("_") or m not in covered)]
+        main_reach = self._closure(main_roots)
+        result = {}
+        for method in self.methods:
+            labels = {e for e, reach in entry_reach.items()
+                      if method in reach}
+            if method in main_reach:
+                labels.add(MAIN)
+            result[method] = frozenset(labels)
+        return result
+
+
+def _is_thread_call(call):
+    """Is ``call`` a ``threading.Thread(...)``-style construction?"""
+    name = _dotted(call.func)
+    return name is not None and name.split(".")[-1] == "Thread"
+
+
+class _MethodScanner:
+    """One walk of a method body: accesses, guards, aliases, entries."""
+
+    def __init__(self, model, method_node, record_accesses=True):
+        self.model = model
+        self.method = method_node.name
+        self.record = record_accesses
+        self.aliases = {}            # local name -> dotted self-path
+        self._collect_aliases(method_node)
+        guards = self._declared_guards(method_node)
+        for statement in method_node.body:
+            self._scan(statement, guards)
+
+    def _declared_guards(self, method_node):
+        """``@guarded_by("_lock")`` -> the whole body is guarded."""
+        guards = ()
+        for decorator in method_node.decorator_list:
+            if isinstance(decorator, ast.Call) \
+                    and (_dotted(decorator.func) or "").split(".")[-1] \
+                    == "guarded_by" \
+                    and decorator.args \
+                    and isinstance(decorator.args[0], ast.Constant) \
+                    and isinstance(decorator.args[0].value, str):
+                guards += (f"self.{decorator.args[0].value}",)
+        return guards
+
+    def _collect_aliases(self, method_node):
+        """Flow-insensitive ``coordinator = self.coordinator`` tracking."""
+        for node in ast.walk(method_node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                value = self._chain(node.value, raw=True)
+                if value is not None:
+                    self.aliases[node.targets[0].id] = value
+
+    def _chain(self, node, raw=False):
+        """Dotted self-path of an Attribute/Name, through local aliases."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        if node.id == "self":
+            base = "self"
+        elif not raw and node.id in self.aliases:
+            base = self.aliases[node.id]
+        else:
+            return None
+        if base == "self" and not parts:
+            return None
+        return ".".join([base] + list(reversed(parts)))
+
+    # ------------------------------------------------------------------
+    def _emit(self, key, kind, guards, node, const=False):
+        if self.record and key is not None:
+            self.model.accesses.append(_Access(
+                key, self.method, kind, guards, node, const=const))
+
+    def _scan_reads(self, node, guards):
+        """Record maximal self-chains in an expression as reads."""
+        if node is None:
+            return
+        if isinstance(node, ast.Attribute):
+            key = self._chain(node)
+            if key is not None:
+                self._emit(key, _READ, guards, node)
+                return               # don't descend into the chain itself
+        elif isinstance(node, ast.Call):
+            self._scan_call(node, guards)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan_reads(child, guards)
+
+    def _scan_call(self, call, guards):
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            receiver = self._chain(func.value)
+            if receiver is not None:
+                kind = (_MUTATE if func.attr in _MUTATOR_METHODS else _READ)
+                self._emit(receiver, kind, guards, call)
+            else:
+                self._scan_reads(func.value, guards)
+        else:
+            self._scan_reads(func, guards)
+        if _is_thread_call(call):
+            self._note_thread_targets(call)
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            self._note_method_ref(arg, thread=_is_thread_call(call))
+            self._scan_reads(arg, guards)
+
+    def _note_thread_targets(self, call):
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                self._note_method_ref(keyword.value, thread=True)
+
+    def _note_method_ref(self, node, thread=False):
+        """A bare ``self.m`` handed to a Thread target is an entry."""
+        if not thread:
+            return
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self" \
+                and node.attr in self.model.methods:
+            self.model.entries.add(node.attr)
+
+    def _scan_target(self, target, value, guards):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._scan_target(element, None, guards)
+            return
+        if isinstance(target, ast.Attribute):
+            key = self._chain(target)
+            const = isinstance(value, ast.Constant)
+            self._emit(key, _REBIND, guards, target, const=const)
+            # Registering a self-method as a handler on another object
+            # hands it to that object's threads: a callback entry.
+            if value is not None and isinstance(value, ast.Attribute) \
+                    and isinstance(value.value, ast.Name) \
+                    and value.value.id == "self" \
+                    and value.attr in self.model.methods:
+                self.model.entries.add(value.attr)
+        elif isinstance(target, ast.Subscript):
+            self._emit(self._chain(target.value), _MUTATE, guards, target)
+            self._scan_reads(target.slice, guards)
+        elif isinstance(target, ast.Starred):
+            self._scan_target(target.value, None, guards)
+
+    def _scan(self, node, guards):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guards
+            for item in node.items:
+                key = self._chain(item.context_expr)
+                if key is not None and self.model.is_lock_key(key):
+                    for outer in inner:
+                        self.model.lock_edges.append(
+                            (outer, key, item.context_expr))
+                    inner += (key,)
+                else:
+                    self._scan_reads(item.context_expr, guards)
+            for statement in node.body:
+                self._scan(statement, inner)
+        elif isinstance(node, ast.Assign):
+            self._note_constructed_attr(node)
+            for target in node.targets:
+                self._scan_target(target, node.value, guards)
+            self._scan_reads(node.value, guards)
+            self._note_calls(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._note_constructed_attr(node, targets=[node.target])
+                self._scan_target(node.target, node.value, guards)
+                self._scan_reads(node.value, guards)
+                self._note_calls(node.value)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Attribute):
+                self._emit(self._chain(node.target), _MUTATE, guards,
+                           node.target)
+            elif isinstance(node.target, ast.Subscript):
+                self._emit(self._chain(node.target.value), _MUTATE, guards,
+                           node.target)
+                self._scan_reads(node.target.slice, guards)
+            self._scan_reads(node.value, guards)
+            self._note_calls(node.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    self._emit(self._chain(target.value), _MUTATE, guards,
+                               target)
+                    self._scan_reads(target.slice, guards)
+                elif isinstance(target, ast.Attribute):
+                    self._emit(self._chain(target), _MUTATE, guards, target)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for statement in node.body:   # closures share the context
+                self._scan(statement, guards)
+        elif isinstance(node, ast.ClassDef):
+            pass                      # nested classes analyzed separately
+        elif isinstance(node, ast.expr):
+            self._scan_reads(node, guards)
+            self._note_calls(node)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._scan_reads(child, guards)
+                    self._note_calls(child)
+                else:
+                    self._scan(child, guards)
+
+    def _note_calls(self, node):
+        """self.m() call-graph edges (for context reachability)."""
+        if node is None:
+            return
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) \
+                    and isinstance(child.func, ast.Attribute) \
+                    and isinstance(child.func.value, ast.Name) \
+                    and child.func.value.id == "self" \
+                    and child.func.attr in self.model.methods:
+                self.model.calls.setdefault(
+                    self.method, set()).add(child.func.attr)
+
+    def _note_constructed_attr(self, node, targets=None):
+        """Classify ``self.x = <Lock()/Queue()/SafeClass()>`` attrs."""
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        name = _dotted(value.func)
+        if name is None:
+            return
+        for target in (targets if targets is not None else node.targets):
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            if name in _LOCK_CONSTRUCTORS:
+                self.model.lock_attrs.add(target.attr)
+            elif name in _SAFE_CONSTRUCTORS \
+                    or name.split(".")[-1] in safe_class_names():
+                self.model.safe_attrs.add(target.attr)
+
+
+# ---------------------------------------------------------------------------
+# The rule pass
+# ---------------------------------------------------------------------------
+def _build_model(class_node):
+    model = _ClassModel(class_node)
+    # Two passes: entries/locks/aliases first (``__init__`` registers
+    # handlers and constructs locks), then accesses with full knowledge.
+    for name, method in model.methods.items():
+        _MethodScanner(model, method, record_accesses=False)
+    model.calls.clear()
+    model.lock_edges = []
+    for name, method in model.methods.items():
+        if name in ("__init__", "__new__", "__post_init__"):
+            continue                 # runs before the object is shared
+        _MethodScanner(model, method, record_accesses=True)
+    return model
+
+
+def _finding(context, rule, node, message):
+    return Finding(rule=rule, path=context.path, line=node.lineno,
+                   col=node.col_offset, message=message, fix=None)
+
+
+def _label(contexts):
+    names = sorted(c if c == MAIN else f"thread:{c}" for c in contexts)
+    return ", ".join(names)
+
+
+def _check_attributes(model, context, findings):
+    contexts = model.contexts()
+    by_key = {}
+    for access in model.accesses:
+        by_key.setdefault(access.key, []).append(access)
+    for key in sorted(by_key):
+        accesses = by_key[key]
+        if model.is_lock_key(key):
+            continue
+        root = key.split(".")[1] if key.startswith("self.") else key
+        if root in model.safe_attrs or root in model.lock_attrs:
+            continue
+        ctxs = set()
+        for access in accesses:
+            ctxs.update(contexts.get(access.method, ()))
+        if len(ctxs) < 2:
+            continue                 # single-threaded attribute
+        writes = [a for a in accesses if a.kind in (_REBIND, _MUTATE)]
+        if not writes:
+            continue                 # shared read-only state
+        if all(w.kind == _REBIND and w.const for w in writes):
+            continue                 # a flag (self._closing = True)
+        guard_counts = {}
+        for access in accesses:
+            for guard in access.guards:
+                guard_counts[guard] = guard_counts.get(guard, 0) + 1
+        if guard_counts:
+            inferred = max(sorted(guard_counts), key=guard_counts.get)
+            for write in writes:
+                if inferred not in write.guards:
+                    findings.append(_finding(
+                        context, "race-unguarded-write", write.node,
+                        f"{key} is guarded by `with {inferred}` at "
+                        f"{guard_counts[inferred]} site(s) but this "
+                        f"{'mutation' if write.kind == _MUTATE else 'write'}"
+                        f" in {write.method}() runs outside it "
+                        f"(attribute escapes to {_label(ctxs)})"))
+        elif any(w.kind == _MUTATE for w in writes):
+            first = next(w for w in writes if w.kind == _MUTATE)
+            findings.append(_finding(
+                context, "race-no-guard", first.node,
+                f"{key} escapes to {_label(ctxs)} and is mutated "
+                f"with no lock held at any of its {len(accesses)} "
+                f"access site(s); guard it or confine mutation to "
+                f"one thread"))
+
+
+def _check_lock_order(edges, context, findings):
+    """Cycles in the static lock-nesting graph (AB/BA inversions)."""
+    graph = {}
+    for outer, inner, _node in edges:
+        if outer != inner:
+            graph.setdefault(outer, set()).add(inner)
+
+    def reachable(src, dst):
+        stack, seen = [src], set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    reported = set()
+    for outer, inner, node in edges:
+        if outer == inner or (outer, inner) in reported:
+            continue
+        if reachable(inner, outer):
+            reported.add((outer, inner))
+            findings.append(_finding(
+                context, "lock-order", node,
+                f"acquiring {inner} while holding {outer} closes a "
+                f"cycle in the lock-order graph (the opposite nesting "
+                f"also exists): AB/BA deadlock recipe"))
+
+
+def rule_concurrency(tree, context):
+    """Entry point registered in the AST-rule catalogue.
+
+    Emits ``race-unguarded-write``, ``race-no-guard`` and ``lock-order``
+    (the catalogue registers it under the first name; the other two are
+    co-emitted, like ``nondet-hash``/``nondet-id``).
+    """
+    findings = []
+    file_lock_edges = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = _build_model(node)
+        file_lock_edges.extend(model.lock_edges)
+        if not model.entries:
+            continue                 # no threads spawned: single context
+        _check_attributes(model, context, findings)
+    _check_lock_order(file_lock_edges, context, findings)
+    return findings

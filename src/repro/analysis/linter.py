@@ -23,7 +23,7 @@ import re
 #: Version of the analysis-rule catalogue.  Bump on any rule change; the
 #: jobs ledger records it so results vetted by older rules are
 #: distinguishable (see repro.jobs.ledger).
-ANALYSIS_VERSION = "1"
+ANALYSIS_VERSION = "2"
 
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
 
@@ -157,6 +157,12 @@ def iter_source_files(paths=None):
             seen.add(path)
             if path.startswith(root + os.sep):
                 relpath = os.path.relpath(path, root).replace(os.sep, "/")
+            elif os.path.isdir(target):
+                # Outside-package tree (tests/, benchmarks/): keep the
+                # target's basename as the prefix so path-keyed
+                # exemptions like TIME_EXEMPT_PREFIXES apply.
+                rel = os.path.relpath(path, target).replace(os.sep, "/")
+                relpath = f"{os.path.basename(target)}/{rel}"
             else:
                 relpath = os.path.basename(path)
             yield path, relpath
@@ -187,11 +193,14 @@ def lint_file(path, relpath=None, rules=None, source=None):
         return [Finding(rule="syntax-error", path=path,
                         line=error.lineno or 0, col=error.offset or 0,
                         message=f"cannot parse: {error.msg}")]
+    from .rules import CO_EMITTED
     findings = []
     for name, rule in AST_RULES.items():
         if rules is not None and name not in rules:
-            # The nondet-hash pass also emits nondet-id.
-            if not (name == "nondet-hash" and "nondet-id" in rules):
+            # A pass runs if any rule it co-emits is selected (e.g. the
+            # nondet-hash pass also emits nondet-id; the concurrency
+            # pass emits race-no-guard and lock-order).
+            if not any(co in rules for co in CO_EMITTED.get(name, ())):
                 continue
         findings.extend(rule(tree, context))
     if rules is not None:
@@ -217,9 +226,10 @@ def run_lint(paths=None, rules=None, dynamic=None):
         dynamic = not paths
     if dynamic:
         from .contracts import check_engine_contracts
+        from .rules import check_time_exemptions
         from .schema import check_config_schema, check_metrics_schema
         for check in (check_config_schema, check_metrics_schema,
-                      check_engine_contracts):
+                      check_engine_contracts, check_time_exemptions):
             extra = check()
             if rules is not None:
                 extra = [f for f in extra if f.rule in rules]

@@ -33,13 +33,25 @@ Rule catalogue
                        nothing about the new per-cycle work, so event jumps
                        could elide it.  Defining ``next_event`` without
                        ``quiescent`` is flagged for the same reason.
+``race-unguarded-write``  concurrency pass (:mod:`.concurrency`): a
+                       thread-escaping attribute with an inferred lock
+                       guard is written outside it.
+``race-no-guard``      concurrency pass: a thread-escaping attribute is
+                       mutated with no lock held anywhere.
+``lock-order``         concurrency pass: statically nested locks form a
+                       cycle (AB/BA deadlock recipe).
+``time-exempt-drift``  dynamic check: ``TIME_EXEMPT_PREFIXES`` lists a
+                       prefix matching no real directory, or an infra
+                       package (imports ``threading``/``socket``/
+                       ``subprocess``) is not listed.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 
-from .linter import Finding
+from .linter import Finding, package_root
 
 #: Wall-clock functions of the ``time`` module that must not appear in
 #: simulation code.
@@ -66,7 +78,8 @@ _GLOBAL_NP_RANDOM_FUNCS = frozenset({
 #: wall-clock reads are legitimate: infrastructure that measures host
 #: time, never simulated time.
 TIME_EXEMPT_PREFIXES = ("jobs/", "bench/", "analysis/", "cluster/",
-                        "faults/", "serve/", "lanes/", "__main__")
+                        "faults/", "serve/", "lanes/", "tests/",
+                        "benchmarks/", "__main__")
 
 #: Base classes that mark a class as a runahead engine for the
 #: quiescence-contract rule, plus a naming convention fallback.
@@ -308,15 +321,124 @@ def rule_engine_quiescence(tree, context):
     return findings
 
 
+# ---------------------------------------------------------------------------
+# time-exempt-drift (dynamic check)
+# ---------------------------------------------------------------------------
+#: Imports that mark a package as infrastructure (host-facing code that
+#: legitimately measures wall time): thread, socket or process control.
+_INFRA_IMPORTS = frozenset({"threading", "socket", "subprocess"})
+
+
+def _exempt_list_line():
+    """Line of the TIME_EXEMPT_PREFIXES assignment (for the finding)."""
+    try:
+        with open(__file__, encoding="utf-8") as handle:
+            for number, text in enumerate(handle, start=1):
+                if text.startswith("TIME_EXEMPT_PREFIXES"):
+                    return number
+    except OSError:
+        pass
+    return 0
+
+
+def _package_imports_infra(directory):
+    """Does any module in ``directory`` import threading/socket/etc.?"""
+    for dirpath, dirnames, filenames in os.walk(directory):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            try:
+                with open(os.path.join(dirpath, name),
+                          encoding="utf-8") as handle:
+                    tree = ast.parse(handle.read(), filename=name)
+            except (OSError, SyntaxError):
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    if any(alias.name.split(".")[0] in _INFRA_IMPORTS
+                           for alias in node.names):
+                        return True
+                elif isinstance(node, ast.ImportFrom) and node.module \
+                        and node.module.split(".")[0] in _INFRA_IMPORTS:
+                    return True
+    return False
+
+
+def check_time_exemptions():
+    """Flag drift between TIME_EXEMPT_PREFIXES and the real tree.
+
+    * **Stale entry**: a listed prefix that matches no directory under
+      the package root (or the repo root, for ``tests/`` and friends)
+      and no module -- silently exempting nothing.
+    * **Unlisted infra package**: a package directory whose modules
+      import ``threading``/``socket``/``subprocess`` (host-facing
+      infrastructure, which always ends up measuring wall time) but
+      which is not in the exemption list; its wall-clock reads would be
+      mis-flagged as simulation nondeterminism.
+    """
+    root = package_root()
+    repo_root = os.path.dirname(os.path.dirname(root))
+    line = _exempt_list_line()
+    findings = []
+    for prefix in TIME_EXEMPT_PREFIXES:
+        if prefix.endswith("/"):
+            name = prefix[:-1]
+            if not (os.path.isdir(os.path.join(root, name))
+                    or os.path.isdir(os.path.join(repo_root, name))):
+                findings.append(Finding(
+                    rule="time-exempt-drift", path=__file__, line=line,
+                    col=0, message=(
+                        f"TIME_EXEMPT_PREFIXES entry {prefix!r} matches "
+                        f"no directory under {root} or {repo_root}; "
+                        f"remove the stale exemption")))
+        elif not os.path.exists(os.path.join(root, prefix + ".py")):
+            findings.append(Finding(
+                rule="time-exempt-drift", path=__file__, line=line,
+                col=0, message=(
+                    f"TIME_EXEMPT_PREFIXES entry {prefix!r} matches no "
+                    f"module {prefix}.py under {root}; remove the stale "
+                    f"exemption")))
+    exempt_dirs = {p[:-1] for p in TIME_EXEMPT_PREFIXES if p.endswith("/")}
+    for entry in sorted(os.listdir(root)):
+        directory = os.path.join(root, entry)
+        if not os.path.isdir(directory) or entry == "__pycache__":
+            continue
+        if entry in exempt_dirs:
+            continue
+        if _package_imports_infra(directory):
+            findings.append(Finding(
+                rule="time-exempt-drift", path=__file__, line=line,
+                col=0, message=(
+                    f"package {entry!r} imports threading/socket/"
+                    f"subprocess (infrastructure) but is not in "
+                    f"TIME_EXEMPT_PREFIXES; its wall-clock reads would "
+                    f"be flagged as simulation nondeterminism")))
+    return findings
+
+
 #: rule name -> pass function.  Order is the report order.
+def _rule_concurrency(tree, context):
+    from .concurrency import rule_concurrency
+    return rule_concurrency(tree, context)
+
+
 AST_RULES = {
     "nondet-hash": rule_builtin_hash_id,
     "nondet-bare-random": rule_bare_random,
     "nondet-time": rule_wall_clock,
     "nondet-set-iter": rule_set_iteration,
     "engine-quiescence": rule_engine_quiescence,
+    "race-unguarded-write": _rule_concurrency,
 }
-# nondet-id is emitted by the nondet-hash pass; it still needs to be a
-# known rule name for suppressions and --rules filtering.
-ALL_RULE_NAMES = tuple(AST_RULES) + ("nondet-id", "schema-roundtrip",
-                                     "engine-contract")
+
+#: Passes that emit more rules than the name they are registered under;
+#: lint_file consults this for --rules selection and suppressions.
+CO_EMITTED = {
+    "nondet-hash": ("nondet-id",),
+    "race-unguarded-write": ("race-no-guard", "lock-order"),
+}
+
+ALL_RULE_NAMES = tuple(AST_RULES) \
+    + tuple(name for names in CO_EMITTED.values() for name in names) \
+    + ("schema-roundtrip", "engine-contract", "time-exempt-drift")

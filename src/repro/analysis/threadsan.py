@@ -1,0 +1,287 @@
+"""Runtime thread sanitizer: instrumented locks + lock-order checking.
+
+The static half of the concurrency analysis
+(:mod:`repro.analysis.concurrency`) infers lock discipline from the
+package AST; this module is the dynamic half, mirroring the simulator's
+:class:`~repro.analysis.sanitize.Sanitizer`: cheap instrumentation that
+is **off by default** and observation-only when on, so metrics stay
+bit-identical either way.
+
+Enabled with ``--sanitize-threads`` on the CLI or
+``REPRO_SANITIZE_THREADS=1`` in the environment (read at import, so a
+whole pytest run can be sanitized without code changes).  When enabled:
+
+* :func:`make_lock` / :func:`make_rlock` -- the factories the cluster
+  and serve stacks use instead of calling ``threading.Lock()`` directly
+  -- return instrumented wrappers that report every acquire/release to
+  the process-wide :class:`ThreadSanitizer`;
+* the sanitizer tracks the **held-lock set per thread** and records an
+  ordering edge ``A -> B`` whenever ``B`` is acquired while ``A`` is
+  held.  An acquisition that would close a cycle in that graph is a
+  lock-order inversion -- the classic AB/BA deadlock recipe -- and
+  raises :class:`ThreadSanitizerError` *before* blocking, so the bug is
+  reported even on interleavings that happen not to deadlock;
+* methods declared ``@guarded_by("_lock")`` check, on entry, that the
+  calling thread actually holds ``self._lock``.  The declaration is
+  also consumed statically: the linter treats the whole method body as
+  guarded by that lock.
+
+When disabled the factories return plain ``threading`` locks and
+``@guarded_by`` only stamps metadata -- zero steady-state overhead.
+
+Violations are raised *and* recorded on ``sanitizer().violations``:
+an inversion detected on a daemon thread must not vanish with the
+thread, so tests and the CLI can assert on the recorded list.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+import threading
+
+#: Environment switch; read once at import so locks created during
+#: module import (coordinator/daemon singletons) are instrumented too.
+_ENV_FLAG = "REPRO_SANITIZE_THREADS"
+
+
+class ThreadSanitizerError(AssertionError):
+    """A lock-order inversion or guarded-attribute violation."""
+
+
+class ThreadSanitizer:
+    """Process-wide held-lock tracking and lock-order graph.
+
+    Internally synchronized with a *plain* lock (never instrumented,
+    so the sanitizer cannot recurse into itself).
+    """
+
+    def __init__(self):
+        self._tls = threading.local()
+        # lock name -> {later lock name: first-seen site description}
+        self.edges = {}
+        self.violations = []         # recorded ThreadSanitizerError args
+        self.acquisitions = 0        # instrumented acquires (telemetry)
+        self.guard_checks = 0        # @guarded_by entry checks
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _held(self):
+        """This thread's stack of (SanLock, recursion count) entries."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def held_names(self):
+        return [lock.name for lock, _count in self._held()]
+
+    def holds(self, lock):
+        return any(entry is lock for entry, _count in self._held())
+
+    # ------------------------------------------------------------------
+    def _path_exists(self, src, dst):
+        """Is there an edge path ``src -> ... -> dst`` in the graph?"""
+        stack, seen = [src], set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return False
+
+    def _fail(self, message):
+        error = ThreadSanitizerError(message)
+        self.violations.append(message)
+        print(f"[sanitize-threads] {message}", file=sys.stderr, flush=True)
+        raise error
+
+    def before_acquire(self, lock):
+        """Order check; runs *before* blocking on the inner lock."""
+        stack = self._held()
+        for held, _count in stack:
+            if held is lock:
+                return               # reentrant (RLock); no new edge
+        self.acquisitions += 1
+        thread = threading.current_thread().name
+        with self._lock:
+            for held, _count in stack:
+                if held.name == lock.name:
+                    continue         # two locks sharing a name: no edge
+                # Adding held -> lock; a pre-existing path lock -> held
+                # means some other thread acquired them in the opposite
+                # order -- the AB/BA deadlock recipe.
+                if self._path_exists(lock.name, held.name):
+                    first = self.edges.get(lock.name, {}).get(
+                        held.name, "<unknown site>")
+                    self._fail(
+                        f"lock-order inversion: thread {thread!r} "
+                        f"acquires {lock.name!r} while holding "
+                        f"{held.name!r}, but the opposite order was "
+                        f"observed at {first}")
+                self.edges.setdefault(held.name, {}).setdefault(
+                    lock.name, f"thread {thread!r}")
+
+    def after_acquire(self, lock):
+        stack = self._held()
+        for index, (held, count) in enumerate(stack):
+            if held is lock:
+                stack[index] = (held, count + 1)
+                return
+        stack.append((lock, 1))
+
+    def after_release(self, lock):
+        stack = self._held()
+        for index in range(len(stack) - 1, -1, -1):
+            held, count = stack[index]
+            if held is lock:
+                if count > 1:
+                    stack[index] = (held, count - 1)
+                else:
+                    del stack[index]
+                return
+
+    # ------------------------------------------------------------------
+    def check_guard(self, owner, lock_attr, method_name):
+        """``@guarded_by`` entry check: the declared lock must be held."""
+        self.guard_checks += 1
+        lock = getattr(owner, lock_attr, None)
+        if lock is None:
+            self._fail(
+                f"@guarded_by({lock_attr!r}) on "
+                f"{type(owner).__name__}.{method_name}: no such attribute")
+        if isinstance(lock, SanLock):
+            if not self.holds(lock):
+                self._fail(
+                    f"{type(owner).__name__}.{method_name} requires "
+                    f"{lock_attr!r} but thread "
+                    f"{threading.current_thread().name!r} holds "
+                    f"{self.held_names() or 'no locks'}")
+        elif hasattr(lock, "locked") and not lock.locked():
+            # Plain lock (created before enable()): ownership is not
+            # trackable, but an unlocked lock is definitely not held.
+            self._fail(
+                f"{type(owner).__name__}.{method_name} requires "
+                f"{lock_attr!r} but it is not locked")
+
+
+class SanLock:
+    """Instrumented ``Lock``/``RLock`` reporting to a ThreadSanitizer."""
+
+    def __init__(self, name, sanitizer, reentrant=False):
+        self.name = name
+        self._san = sanitizer
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking=True, timeout=-1):
+        self._san.before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._san.after_acquire(self)
+        return acquired
+
+    def release(self):
+        self._inner.release()
+        self._san.after_release(self)
+
+    def locked(self):
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"<SanLock {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Process-wide state + factories
+# ---------------------------------------------------------------------------
+_sanitizer = ThreadSanitizer()
+_enabled = bool(os.environ.get(_ENV_FLAG))
+_counter = 0
+_counter_lock = threading.Lock()
+
+
+def sanitizer():
+    """The process-wide :class:`ThreadSanitizer` instance."""
+    return _sanitizer
+
+
+def enabled():
+    return _enabled
+
+
+def enable():
+    """Turn on lock instrumentation for locks created *from now on*."""
+    global _enabled
+    _enabled = True
+
+
+def disable(reset=True):
+    global _sanitizer, _enabled
+    _enabled = False
+    if reset:
+        _sanitizer = ThreadSanitizer()
+
+
+def _next_name(kind):
+    global _counter
+    with _counter_lock:
+        _counter += 1
+        return f"{kind}-{_counter}"
+
+
+def make_lock(name=None):
+    """A ``threading.Lock`` (or, sanitized, an instrumented wrapper)."""
+    if not _enabled:
+        return threading.Lock()
+    return SanLock(name or _next_name("lock"), _sanitizer)
+
+
+def make_rlock(name=None):
+    if not _enabled:
+        return threading.RLock()
+    return SanLock(name or _next_name("rlock"), _sanitizer, reentrant=True)
+
+
+# ---------------------------------------------------------------------------
+# Declarations the static pass also consumes
+# ---------------------------------------------------------------------------
+def guarded_by(lock_attr):
+    """Declare that a method must run with ``self.<lock_attr>`` held.
+
+    Statically, the linter treats the decorated method's body as guarded
+    by that lock; dynamically (sanitize-threads mode) the declaration is
+    checked on every call.
+    """
+    def decorate(function):
+        @functools.wraps(function)
+        def wrapper(self, *args, **kwargs):
+            if _enabled:
+                _sanitizer.check_guard(self, lock_attr, function.__name__)
+            return function(self, *args, **kwargs)
+        wrapper.__guarded_by__ = lock_attr
+        return wrapper
+    return decorate
+
+
+def thread_safe(cls):
+    """Declare a class internally synchronized (callers need no lock).
+
+    The static pass exempts attributes holding instances of a
+    ``@thread_safe`` class from the escape analysis, the same way it
+    exempts ``queue.Queue``; the decorator is the class's promise that
+    every public method takes its own lock.
+    """
+    cls.__thread_safe__ = True
+    return cls

@@ -37,6 +37,7 @@ import sys
 import threading
 import time
 
+from ..analysis.threadsan import make_lock
 from .protocol import (AUTH, CHALLENGE, Connection, DRAIN, GOODBYE,
                        HEARTBEAT, HELLO, JOB, PROTOCOL_VERSION,
                        ProtocolError, REJECT, RESULT, SESSION, STATUS,
@@ -130,7 +131,9 @@ class Coordinator:
         self.worker_grace = worker_grace
         self.poll_interval = poll_interval
         self._events = queue.Queue()
-        self._lock = threading.Lock()
+        # Guards _workers (accept/reader/serve threads) and _progress
+        # (updated by execute(), read by status() on connection threads).
+        self._lock = make_lock("Coordinator._lock")
         self._workers = []
         self._spawned = []
         self._server = None
@@ -421,7 +424,8 @@ class Coordinator:
         ready = list(jobs)
         completed = set()
         failed = {}
-        self._progress.update(total=len(jobs), done=0, failed=0)
+        with self._lock:
+            self._progress.update(total=len(jobs), done=0, failed=0)
         last_live = time.monotonic()
 
         def settle(job, error, now):
@@ -444,12 +448,13 @@ class Coordinator:
                 print(f"[cluster] disconnecting worker {worker.label}: "
                       f"{reason}", file=sys.stderr)
             self._dispatch(ready, now)
-            self._progress.update(
-                done=len(completed), failed=len(failed),
-                running=sum(1 for j in jobs
-                            if j.key not in completed
-                            and j.key not in failed) - len(ready),
-                queued=len(ready))
+            with self._lock:
+                self._progress.update(
+                    done=len(completed), failed=len(failed),
+                    running=sum(1 for j in jobs
+                                if j.key not in completed
+                                and j.key not in failed) - len(ready),
+                    queued=len(ready))
             if self.live_workers():
                 last_live = now
             elif ready and now - last_live > self.worker_grace:
@@ -501,8 +506,9 @@ class Coordinator:
                         settle(job,
                                f"worker {worker.label} {kind}: {payload}",
                                time.monotonic())
-        self._progress.update(done=len(completed), failed=len(failed),
-                              running=0, queued=0)
+        with self._lock:
+            self._progress.update(done=len(completed), failed=len(failed),
+                                  running=0, queued=0)
         return failed
 
     def _expired_workers(self, now):
@@ -565,9 +571,10 @@ class Coordinator:
                 "jobs_done": worker.done,
                 "last_seen_s": round(now - worker.last_seen, 3),
             } for worker in self._workers if worker.alive]
+            progress = dict(self._progress)
         info = {"address": self.address,
                 "workers": workers,
-                "jobs": dict(self._progress)}
+                "jobs": progress}
         if self.status_extra is not None:
             info.update(self.status_extra())
         return info

@@ -39,6 +39,7 @@ import sys
 import threading
 import time
 
+from ..analysis.threadsan import make_lock
 from .protocol import (AuthenticationError, CHALLENGE, Connection, DRAIN,
                        GOODBYE, HEARTBEAT, HELLO, JOB, PROTOCOL_VERSION,
                        ProtocolError, REJECT, RESULT, WELCOME,
@@ -106,6 +107,9 @@ class Worker:
         # rest of a lease burst before running a partial batch.
         self.lanes = max(1, int(lanes or 1))
         self.gather_window = gather_window
+        # Guards jobs_done: bumped on the serve loop, read by the
+        # heartbeat thread for HEARTBEAT frames.
+        self._lock = make_lock("Worker._lock")
         self.jobs_done = 0
 
     # ------------------------------------------------------------------
@@ -203,10 +207,12 @@ class Worker:
                         batch, drained = self._gather_batch(connection,
                                                             message)
                         self._run_batch(connection, batch)
-                        self.jobs_done += len(batch)
+                        with self._lock:
+                            self.jobs_done += len(batch)
                     else:
                         self._run_one(connection, message)
-                        self.jobs_done += 1
+                        with self._lock:
+                            self.jobs_done += 1
                     if self.max_jobs is not None \
                             and self.jobs_done >= self.max_jobs:
                         connection.send(GOODBYE, reason="max-jobs")
@@ -329,7 +335,9 @@ class Worker:
     def _heartbeat_loop(self, connection, stop):
         while not stop.wait(self.heartbeat_interval):
             try:
-                connection.send(HEARTBEAT, jobs_done=self.jobs_done)
+                with self._lock:
+                    done = self.jobs_done
+                connection.send(HEARTBEAT, jobs_done=done)
             except OSError:
                 return
 

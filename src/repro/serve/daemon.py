@@ -31,9 +31,13 @@ dropped unless another session's sweep still wants them, jobs already
 on a worker finish into the store, and every other session's sweep
 proceeds undisturbed.
 
-Single-writer discipline: all scheduling state (queue, sessions,
-interest map) is mutated only on the scheduler thread; reader threads
-just enqueue events, exactly the coordinator's own design.
+Single-writer discipline: scheduling state (``_interest``,
+``_inflight``) is mutated only on the scheduler thread; reader threads
+just enqueue events, exactly the coordinator's own design.  State that
+*does* cross threads is explicitly synchronized: the ``_stats``
+counters (bumped on reader threads and the scheduler, read by STATUS
+replies) live under the daemon lock, and the session registry and
+fair-share queue are internally locked ``@thread_safe`` containers.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ from ..cluster.protocol import (GOODBYE, HEARTBEAT, JOB, JOB_DONE,
                                 PROTOCOL_VERSION, ProtocolError, REJECT,
                                 SESSION_OK, SUBMIT, SWEEP_ACCEPTED,
                                 SWEEP_DONE)
+from ..analysis.threadsan import make_lock
 from ..cluster.scheduler import cost_model_for, longest_first
 from ..jobs.ledger import NullLedger
 from .fairshare import FairShareQueue, ServeJob
@@ -84,6 +89,9 @@ class ServeDaemon:
         self._inflight = {}          # key -> ServeJob (queued or leased)
         self._cost_model = None
         self._cost_model_loaded = False
+        #: Guards _stats: counters are bumped from per-connection reader
+        #: threads and the scheduler, and read by STATUS replies.
+        self._lock = make_lock("ServeDaemon._lock")
         self._stats = {"jobs_done": 0, "jobs_failed": 0, "store_hits": 0,
                        "sweeps_done": 0, "sessions_served": 0}
         self._started_at = None
@@ -155,7 +163,8 @@ class ServeDaemon:
             connection.close()
             return
         session = self.registry.create(connection, name=frame.get("client"))
-        self._stats["sessions_served"] += 1
+        with self._lock:
+            self._stats["sessions_served"] += 1
         try:
             connection.send(SESSION_OK, session=session.session_id,
                             version=PROTOCOL_VERSION,
@@ -315,7 +324,8 @@ class ServeDaemon:
         for key, spec in sweep.specs.items():
             metrics = self.store.get(spec) if self.store else None
             if metrics is not None:
-                self._stats["store_hits"] += 1
+                with self._lock:
+                    self._stats["store_hits"] += 1
                 sweep.settle(key, ok=True, cached=True)
                 self._send_job_done(session, sweep, key, ok=True,
                                     metrics=metrics, cached=True,
@@ -352,7 +362,8 @@ class ServeDaemon:
             self.ledger.record(job.spec, cache="miss", worker=worker.label,
                                wall_s=wall_s, metrics=metrics,
                                retries=job.attempts)
-            self._stats["jobs_done"] += 1
+            with self._lock:
+                self._stats["jobs_done"] += 1
             del self._inflight[key]
             self._deliver(key, ok=True, metrics=metrics, cached=False,
                           worker=worker.label, wall_s=wall_s,
@@ -401,7 +412,8 @@ class ServeDaemon:
             self._interest.pop(job.key, None)
             return
         if job.attempts >= coordinator.max_attempts:
-            self._stats["jobs_failed"] += 1
+            with self._lock:
+                self._stats["jobs_failed"] += 1
             self._inflight.pop(job.key, None)
             self._deliver(job.key, ok=False, error=str(error),
                           retries=job.attempts)
@@ -415,7 +427,8 @@ class ServeDaemon:
 
     def _fail_all_queued(self, reason):
         for job in self.queue.drain():
-            self._stats["jobs_failed"] += 1
+            with self._lock:
+                self._stats["jobs_failed"] += 1
             self._inflight.pop(job.key, None)
             self._deliver(job.key, ok=False, error=reason,
                           retries=job.attempts)
@@ -454,7 +467,8 @@ class ServeDaemon:
             self._events().put(("client-gone", session, "job-done failed"))
 
     def _finish_sweep(self, session, sweep):
-        self._stats["sweeps_done"] += 1
+        with self._lock:
+            self._stats["sweeps_done"] += 1
         session.sweeps_done += 1
         session.sweeps.pop(sweep.sweep_id, None)
         try:
@@ -517,7 +531,8 @@ class ServeDaemon:
             "queued_jobs": len(self.queue),
             "sessions": self.registry.snapshot(now),
         }
-        info.update(self._stats)
+        with self._lock:
+            info.update(self._stats)
         if self.store is not None:
             info["store"] = {"hits": self.store.hits,
                              "misses": self.store.misses}

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 
+from ..analysis.threadsan import make_lock, thread_safe
+
 
 class ServeJob:
     """One queued simulation, owned by a session, watched by sweeps."""
@@ -41,35 +43,46 @@ class ServeJob:
         return self.spec.key
 
 
+@thread_safe
 class FairShareQueue:
-    """Round-robin-across-sessions queue of :class:`ServeJob` records."""
+    """Round-robin-across-sessions queue of :class:`ServeJob` records.
+
+    Mutation happens on the daemon's scheduler thread, but ``__len__``
+    and the per-session counts feed STATUS replies built on connection
+    threads, so the queue synchronizes internally (``@thread_safe``).
+    """
 
     def __init__(self):
         # session_id -> deque of ServeJob, in within-session priority
         # order.  OrderedDict preserves session arrival order; the
         # rotation cursor walks it circularly.
+        self._lock = make_lock("FairShareQueue._lock")
         self._queues = OrderedDict()
         self._cursor = 0             # rotation position among live sessions
 
     def __len__(self):
-        return sum(len(q) for q in self._queues.values())
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
 
     def queued_for(self, session_id):
-        return len(self._queues.get(session_id, ()))
+        with self._lock:
+            return len(self._queues.get(session_id, ()))
 
     def sessions(self):
-        return [sid for sid, q in self._queues.items() if q]
+        with self._lock:
+            return [sid for sid, q in self._queues.items() if q]
 
     # ------------------------------------------------------------------
     def add(self, job, *, front=False):
         """Queue ``job`` under its session (``front`` for requeues)."""
-        queue = self._queues.get(job.session_id)
-        if queue is None:
-            queue = self._queues[job.session_id] = deque()
-        if front:
-            queue.appendleft(job)
-        else:
-            queue.append(job)
+        with self._lock:
+            queue = self._queues.get(job.session_id)
+            if queue is None:
+                queue = self._queues[job.session_id] = deque()
+            if front:
+                queue.appendleft(job)
+            else:
+                queue.append(job)
 
     def next_job(self, now):
         """Pop the next dispatchable job, or ``None``.
@@ -79,31 +92,34 @@ class FairShareQueue:
         the cursor advances past that session, so consecutive calls
         spread leases across sessions even when every session has work.
         """
-        session_ids = list(self._queues.keys())
-        if not session_ids:
+        with self._lock:
+            session_ids = list(self._queues.keys())
+            if not session_ids:
+                return None
+            count = len(session_ids)
+            for step in range(count):
+                index = (self._cursor + step) % count
+                queue = self._queues[session_ids[index]]
+                for position, job in enumerate(queue):
+                    if job.not_before <= now:
+                        del queue[position]
+                        self._cursor = (index + 1) % count
+                        return job
             return None
-        count = len(session_ids)
-        for step in range(count):
-            index = (self._cursor + step) % count
-            queue = self._queues[session_ids[index]]
-            for position, job in enumerate(queue):
-                if job.not_before <= now:
-                    del queue[position]
-                    self._cursor = (index + 1) % count
-                    return job
-        return None
 
     def drain(self):
         """Remove and return every queued job (fleet-gone failure path)."""
-        jobs = [job for queue in self._queues.values() for job in queue]
-        self._queues.clear()
-        self._cursor = 0
-        return jobs
+        with self._lock:
+            jobs = [job for queue in self._queues.values() for job in queue]
+            self._queues.clear()
+            self._cursor = 0
+            return jobs
 
     def drop_session(self, session_id):
         """Remove a session's queued jobs; returns them (for interest
         reassignment -- a job another session still wants must survive
         its owner's disconnect)."""
-        queue = self._queues.pop(session_id, None)
-        self._cursor = 0             # cursor indexes a changed list; reset
-        return list(queue) if queue else []
+        with self._lock:
+            queue = self._queues.pop(session_id, None)
+            self._cursor = 0         # cursor indexes a changed list; reset
+            return list(queue) if queue else []

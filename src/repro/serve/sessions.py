@@ -4,14 +4,20 @@ A *session* is one connected client (one ``repro submit`` process, one
 ``ServeClient``); a *sweep* is one SUBMIT frame's worth of job specs.
 Sessions own sweeps, sweeps track per-key completion, and the registry
 is the single place the daemon's scheduler thread looks up "who gets
-this result" and "who is still alive".  All mutation happens on the
-scheduler thread; per-connection reader threads only enqueue events, so
-no locking is needed beyond the connection's own send lock.
+this result" and "who is still alive".  The registry itself is touched
+from three kinds of threads -- ``create`` on per-connection reader
+threads, ``remove``/``expired`` on the scheduler, ``snapshot`` on
+whatever connection asks for STATUS -- so it synchronizes internally
+(``@thread_safe``): every public method takes the registry lock, and
+callers never need one.  Session/Sweep objects themselves are still
+mutated only on the scheduler thread once registered.
 """
 
 from __future__ import annotations
 
 import time
+
+from ..analysis.threadsan import guarded_by, make_lock, thread_safe
 
 
 class Sweep:
@@ -85,18 +91,26 @@ class Session:
         }
 
 
+@thread_safe
 class SessionRegistry:
     """Allocates session/sweep ids and answers liveness/status queries."""
 
     def __init__(self):
+        self._lock = make_lock("SessionRegistry._lock")
         self._sessions = {}          # session_id -> Session
         self._session_counter = 0
         self._sweep_counter = 0
 
     def __len__(self):
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def create(self, connection, name=None):
+        with self._lock:
+            return self._register(connection, name)
+
+    @guarded_by("_lock")
+    def _register(self, connection, name):
         self._session_counter += 1
         session_id = f"s{self._session_counter:04d}"
         session = Session(session_id, connection, name=name)
@@ -104,26 +118,34 @@ class SessionRegistry:
         return session
 
     def next_sweep_id(self):
-        self._sweep_counter += 1
-        return f"w{self._sweep_counter:05d}"
+        with self._lock:
+            self._sweep_counter += 1
+            return f"w{self._sweep_counter:05d}"
 
     def get(self, session_id):
-        return self._sessions.get(session_id)
+        with self._lock:
+            return self._sessions.get(session_id)
 
     def remove(self, session_id):
-        session = self._sessions.pop(session_id, None)
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
         if session is not None:
             session.alive = False
         return session
 
     def live(self):
-        return [s for s in list(self._sessions.values()) if s.alive]
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [s for s in sessions if s.alive]
 
     def expired(self, now, timeout):
         """Sessions silent past ``timeout`` (vanished without a FIN)."""
-        return [s for s in list(self._sessions.values())
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [s for s in sessions
                 if s.alive and now - s.last_seen > timeout]
 
     def snapshot(self, now):
-        return [session.snapshot(now)
-                for session in list(self._sessions.values())]
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [session.snapshot(now) for session in sessions]

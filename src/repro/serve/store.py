@@ -29,6 +29,7 @@ import os
 import tempfile
 import warnings
 
+from ..analysis.threadsan import make_lock, thread_safe
 from ..jobs.cache import (code_salt, generation_lock, metrics_checksum)
 
 _ENV_STORE = "REPRO_STORE_DIR"
@@ -40,13 +41,22 @@ def default_store_dir():
     return os.environ.get(_ENV_STORE) or None
 
 
+@thread_safe
 class SharedStore:
-    """Content-addressed ``JobSpec -> Metrics`` store on a shared path."""
+    """Content-addressed ``JobSpec -> Metrics`` store on a shared path.
+
+    Filesystem entries are immutable so readers need no coordination,
+    but the session hit/miss counters are bumped on whichever thread
+    calls ``get``/``put`` (the serve daemon's scheduler) and read by
+    STATUS replies on connection threads -- they live under a counter
+    lock.
+    """
 
     def __init__(self, root, salt=None):
         self.root = root
         self.salt = salt or code_salt()
         self.generation_dir = os.path.join(self.root, _LAYOUT, self.salt)
+        self._counter_lock = make_lock("SharedStore._counter_lock")
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -60,8 +70,9 @@ class SharedStore:
     # ------------------------------------------------------------------
     def _reject(self, key, reason):
         """Corrupt entry: count, warn, drop the bytes, miss."""
-        self.corrupt += 1
-        self.misses += 1
+        with self._counter_lock:
+            self.corrupt += 1
+            self.misses += 1
         warnings.warn(f"shared-store entry {key[:8]} is corrupt ({reason}); "
                       f"treating as a miss", RuntimeWarning, stacklevel=3)
         try:
@@ -83,7 +94,8 @@ class SharedStore:
             with open(self._path(key)) as handle:
                 payload = json.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            with self._counter_lock:
+                self.misses += 1
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             return self._reject(key, "undecodable JSON")
@@ -98,7 +110,8 @@ class SharedStore:
             metrics = Metrics.from_dict(payload["metrics"])
         except Exception as error:
             return self._reject(key, f"schema mismatch: {error!r}")
-        self.hits += 1
+        with self._counter_lock:
+            self.hits += 1
         return metrics
 
     def put(self, spec, metrics):

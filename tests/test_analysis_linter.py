@@ -184,6 +184,26 @@ class TestSuppressions:
         suppressed = [f.suppressed for f in findings]
         assert suppressed == [True, True, False]
 
+    def test_allow_list_tolerates_spacing(self):
+        findings = lint_source("""
+            a = hash("k")  # repro: allow( nondet-hash ,nondet-id )
+        """)
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_star_suppresses_multiple_rules_on_one_line(self):
+        findings = lint_source("""
+            a = hash("k") ^ id("k")  # repro: allow(*)
+        """)
+        assert len(findings) == 2
+        assert all(f.suppressed for f in findings)
+
+    def test_allow_comment_on_wrong_line_does_not_suppress(self):
+        findings = lint_source("""
+            # repro: allow(nondet-hash)
+            a = hash("k")
+        """)
+        assert [f.suppressed for f in findings] == [False]
+
 
 class TestFixes:
     def test_wrap_sorted(self):
@@ -235,6 +255,28 @@ class TestFixes:
         fixed, applied = fix_source(drifted, findings)
         assert applied == 0 and fixed == drifted
 
+    def test_fix_is_idempotent(self):
+        source = textwrap.dedent("""
+            import random
+            s = {3, 1, 2}
+            for x in s:
+                print(x)
+            a = random.random()
+        """)
+        once, applied_once = fix_source(source, lint_source(source))
+        assert applied_once == 2
+        twice, applied_twice = fix_source(once, lint_source(once))
+        assert applied_twice == 0
+        assert twice == once
+
+    def test_cli_fix_second_run_is_a_noop(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(bad), "--fix"]) == 0
+        fixed_text = bad.read_text()
+        assert main(["lint", str(bad), "--fix"]) == 0
+        assert bad.read_text() == fixed_text
+
 
 class TestTreeAndDiscovery:
     def test_repro_package_lints_clean(self):
@@ -256,6 +298,29 @@ class TestTreeAndDiscovery:
         source = "x = hash('k')\ny = id('k')\n"
         only_id = lint_source(source, rules={"nondet-id"})
         assert rules_of(only_id) == ["nondet-id"]
+
+    def test_co_emitted_rule_selection_coupling(self):
+        # nondet-id is emitted by the nondet-hash pass: selecting only
+        # nondet-hash must not leak nondet-id findings, and selecting
+        # only nondet-id must still run the shared pass.
+        source = "x = hash('k')\ny = id('k')\n"
+        only_hash = lint_source(source, rules={"nondet-hash"})
+        assert rules_of(only_hash) == ["nondet-hash"]
+        unrelated = lint_source(source, rules={"nondet-time"})
+        assert unrelated == []
+
+    def test_outside_tree_relpath_keeps_target_prefix(self, tmp_path):
+        # A linted directory outside the package keeps its basename as
+        # the relpath prefix, so prefix-keyed exemptions (tests/,
+        # benchmarks/) apply to it.
+        tree = tmp_path / "tests"
+        tree.mkdir()
+        (tree / "test_timing.py").write_text(
+            "import time\nt0 = time.monotonic()\n")
+        pairs = list(iter_source_files([str(tree)]))
+        assert [rel for _path, rel in pairs] == ["tests/test_timing.py"]
+        report = run_lint([str(tree)])
+        assert report.errors == []   # tests/ is wall-clock exempt
 
     def test_syntax_error_becomes_finding(self):
         findings = lint_source("def broken(:\n")
@@ -299,7 +364,40 @@ class TestLintCli:
         assert set(ALL_RULE_NAMES) >= {
             "nondet-hash", "nondet-id", "nondet-bare-random", "nondet-time",
             "nondet-set-iter", "engine-quiescence", "schema-roundtrip",
-            "engine-contract"}
+            "engine-contract", "race-unguarded-write", "race-no-guard",
+            "lock-order", "time-exempt-drift"}
+
+
+class TestTimeExemptDrift:
+    def test_real_tree_has_no_drift(self):
+        from repro.analysis.rules import check_time_exemptions
+        assert check_time_exemptions() == []
+
+    def test_stale_directory_prefix_is_flagged(self, monkeypatch):
+        from repro.analysis import rules
+        monkeypatch.setattr(rules, "TIME_EXEMPT_PREFIXES",
+                            rules.TIME_EXEMPT_PREFIXES + ("ghost/",))
+        findings = rules.check_time_exemptions()
+        assert rules_of(findings) == ["time-exempt-drift"]
+        assert "ghost/" in findings[0].message
+
+    def test_stale_module_entry_is_flagged(self, monkeypatch):
+        from repro.analysis import rules
+        monkeypatch.setattr(rules, "TIME_EXEMPT_PREFIXES",
+                            rules.TIME_EXEMPT_PREFIXES + ("__ghost__",))
+        findings = rules.check_time_exemptions()
+        assert rules_of(findings) == ["time-exempt-drift"]
+        assert "__ghost__" in findings[0].message
+
+    def test_unlisted_infra_package_is_flagged(self, monkeypatch):
+        from repro.analysis import rules
+        pruned = tuple(p for p in rules.TIME_EXEMPT_PREFIXES
+                       if p != "serve/")
+        monkeypatch.setattr(rules, "TIME_EXEMPT_PREFIXES", pruned)
+        findings = rules.check_time_exemptions()
+        assert findings and all(f.rule == "time-exempt-drift"
+                                for f in findings)
+        assert any("'serve'" in f.message for f in findings)
 
 
 class TestDeterminismRegression:

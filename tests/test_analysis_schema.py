@@ -95,7 +95,7 @@ class TestEngineContracts:
                 "VrEngine", "OracleEngine"} <= names
 
     def test_broken_engine_is_flagged(self):
-        class BadTickEngine(dict):   # not an engine base: checked directly
+        class BadTickEngine(dict):   # deliberately broken  # repro: allow(engine-quiescence)
             def tick(self, now, ports):
                 pass
 
