@@ -27,6 +27,10 @@ Usage::
     python -m repro jobs --connect 10.0.0.5:7077 --tls-ca serve.crt
     python -m repro chaos --seed 7         # fault-injection matrix
     python -m repro report --from-ledger ~/.cache/repro/runs.jsonl
+    python -m repro env show --spec specs/fig7.toml
+    python -m repro env concretize --spec specs/mere_rob.toml
+    python -m repro env run --spec specs/fig7.toml --dry-run
+    python -m repro env run --spec specs/fig7.toml --jobs 8 --out out.jsonl
 
 Experiment commands execute through the ``repro.jobs`` engine: results
 are cached on disk (``--cache-dir``, default ``~/.cache/repro``) keyed by
@@ -455,6 +459,65 @@ def cmd_report(args):
     return 0
 
 
+def cmd_env(args):
+    """`repro env {show,concretize,run}`: declarative spec DAGs."""
+    from .specs import DagRunner, SpecError, concretize, load_spec
+    action = args.workload or "show"
+    if action not in ("show", "concretize", "run"):
+        print(f"unknown env action {action!r} (expected: show, concretize, "
+              f"run)", file=sys.stderr)
+        return 2
+    if not args.spec:
+        print("env needs --spec PATH (a .toml/.json experiment spec, "
+              "e.g. specs/fig7.toml)", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.spec)
+        if action == "show":
+            print(f"spec        {spec.name}")
+            if spec.description:
+                print(f"description {spec.description}")
+            print(f"source      {spec.source or '(inline)'}")
+            print(f"sha256      {spec.digest}")
+            if spec.defaults:
+                pairs = ", ".join(f"{path}={value}" for path, value
+                                  in spec.defaults.items())
+                print(f"defaults    {pairs}")
+            for group in spec.groups:
+                workloads = (group.workloads
+                             if isinstance(group.workloads, str)
+                             else f"{len(group.workloads)} explicit")
+                print(f"matrix      {group.name}: workloads={workloads}, "
+                      f"techniques={', '.join(group.techniques)}")
+                for path, values in group.knobs.items():
+                    print(f"              knob {path} = {values}")
+                for clause in group.exclude:
+                    print(f"              exclude {clause}")
+            for analysis in spec.analyses:
+                print(f"analysis    {analysis.name}: fn={analysis.fn}, "
+                      f"needs={', '.join(analysis.needs)}")
+            return 0
+        dag = concretize(spec, scale=_scale_from_args(args))
+        runner = DagRunner(dag)
+        if action == "concretize" or args.dry_run:
+            print(runner.render_dry_run())
+            return 0
+        result = runner.run()
+        for node in dag.analyses:
+            if node.name not in result.tables:
+                continue
+            print(result.tables[node.name].render())
+            print()
+            _maybe_save(result.tables[node.name], args)
+        for skip in result.stats["skipped"]:
+            print(f"[env] skipped analysis {skip['analysis']!r}: "
+                  f"{skip['reason']}", file=sys.stderr)
+        return 1 if result.stats["skipped"] else 0
+    except SpecError as error:
+        print(f"env: {error}", file=sys.stderr)
+        return 2
+
+
 def cmd_run(args):
     config = SimConfig(max_instructions=args.instructions or 20_000,
                        fast_forward=not args.no_fast_forward,
@@ -489,17 +552,18 @@ def main(argv=None):
     parser.add_argument("command",
                         choices=sorted(ALL_EXPERIMENTS) + ["all", "bench",
                                                            "cache", "chaos",
-                                                           "cluster", "jobs",
-                                                           "lint", "list",
-                                                           "report", "run",
-                                                           "serve", "submit",
-                                                           "sweep"])
+                                                           "cluster", "env",
+                                                           "jobs", "lint",
+                                                           "list", "report",
+                                                           "run", "serve",
+                                                           "submit", "sweep"])
     parser.add_argument("workload", nargs="?",
                         help="workload name (for `run`), cache action "
                              "(for `cache`: stats, clear, prune), cluster "
                              "action (for `cluster`: worker, status), "
-                             "experiment name (for `sweep`/`submit`), or a "
-                             "path to lint (for `lint`)")
+                             "experiment name (for `sweep`/`submit`), env "
+                             "action (for `env`: show, concretize, run), or "
+                             "a path to lint (for `lint`)")
     parser.add_argument("--technique", default="dvr",
                         choices=ALL_TECHNIQUES + DVR_BREAKDOWN[1:3])
     parser.add_argument("--graph", default=None)
@@ -531,6 +595,13 @@ def main(argv=None):
                              "(default: all)")
     parser.add_argument("--out", default=None,
                         help="append experiment results as JSON lines")
+    parser.add_argument("--spec", default=None, metavar="PATH",
+                        help="env: the declarative experiment spec to load "
+                             "(.toml or .json, e.g. specs/fig7.toml)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="env run: print node counts, topological "
+                             "levels and the cache-hit preview, execute "
+                             "nothing")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for experiment sweeps "
                              "(default: $REPRO_JOBS or 1 = serial)")
@@ -673,6 +744,8 @@ def main(argv=None):
             return cmd_chaos(args)
         if args.command == "cluster":
             return cmd_cluster(args)
+        if args.command == "env":
+            return cmd_env(args)
         if args.command == "jobs":
             return cmd_jobs(args)
         if args.command == "serve":

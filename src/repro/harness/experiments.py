@@ -52,10 +52,20 @@ class ExperimentScale:
 
     @classmethod
     def from_env(cls):
-        """REPRO_SCALE=full for the paper's full matrix, else small."""
-        if os.environ.get("REPRO_SCALE", "small") == "full":
+        """REPRO_SCALE=full|paper for the paper's full matrix, else small.
+
+        Unknown values raise instead of silently running the small
+        matrix: a typo like ``REPRO_SCALE=ful`` used to burn hours
+        producing tables at the wrong scale.
+        """
+        value = os.environ.get("REPRO_SCALE", "small")
+        if value in ("full", "paper"):
             return cls.full()
-        return cls()
+        if value in ("", "small"):
+            return cls()
+        raise ValueError(
+            f"unknown REPRO_SCALE value {value!r}: expected 'small' "
+            f"(default), 'full', or 'paper' (alias for 'full')")
 
     @classmethod
     def full(cls):

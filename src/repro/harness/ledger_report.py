@@ -12,6 +12,12 @@ The summary is computed from the *latest* record per spec key (a job
 that was retried or re-served from cache appears once), with a
 speedup-vs-OoO column whenever the matching baseline point has also
 finished.
+
+Spec-DAG runs (``repro env run``) additionally leave a ``dag`` meta row
+listing the sim keys they dispatch; the report joins those against the
+job records, so each DAG shows up with its spec name, file hash,
+concretizer version and completion count ("which sweep do these 180
+jobs belong to?").
 """
 
 from __future__ import annotations
@@ -39,6 +45,31 @@ def summarize_ledger(path, cache=None):
         key = record.get("key")
         if key:
             latest[key] = record
+
+    # Spec-DAG provenance: latest "dag" meta row per dag_hash, joined
+    # against the job records it claims via sim_keys.
+    dag_rows = {}
+    for record in records:
+        if record.get("meta") == "dag":
+            dag_rows[record.get("dag_hash") or record.get("spec")] = record
+    dags = []
+    for record in dag_rows.values():
+        sim_keys = record.get("sim_keys") or []
+        completed = sum(1 for key in sim_keys
+                        if key in latest and "ipc" in latest[key])
+        dags.append({
+            "spec": record.get("spec", "?"),
+            "source": record.get("spec_source", ""),
+            "spec_sha256": record.get("spec_sha256", ""),
+            "dag_hash": record.get("dag_hash", ""),
+            "concretizer_version": record.get("concretizer_version"),
+            "nodes": record.get("nodes"),
+            "sim_nodes": record.get("sim_nodes",
+                                    len(sim_keys) or None),
+            "analysis_nodes": record.get("analysis_nodes"),
+            "completed": completed,
+        })
+    dags.sort(key=lambda d: (d["spec"], d["dag_hash"]))
 
     points = []
     failed = []
@@ -81,7 +112,7 @@ def summarize_ledger(path, cache=None):
         "cached_now": cached_now,
     }
     return {"path": path, "points": points, "failed": failed,
-            "totals": totals}
+            "totals": totals, "dags": dags}
 
 
 def render_ledger_report(summary):
@@ -128,4 +159,14 @@ def render_ledger_report(summary):
         f"{totals['wall_s']:.2f}s total wall{cached_text}")
     if totals["workers"]:
         lines.append("workers: " + ", ".join(totals["workers"]))
+    for dag in summary.get("dags", []):
+        sims = dag["sim_nodes"]
+        done = dag["completed"]
+        progress = (f"{done}/{sims} sim(s) completed" if sims
+                    else f"{done} sim(s) completed")
+        lines.append(
+            f"dag {dag['spec']} (spec {dag['spec_sha256'][:12] or '-'}, "
+            f"concretizer v{dag['concretizer_version']}, hash "
+            f"{dag['dag_hash'][:12] or '-'}): {progress}, "
+            f"{dag['analysis_nodes'] or 0} analysis node(s)")
     return "\n".join(lines)

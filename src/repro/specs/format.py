@@ -1,0 +1,630 @@
+"""Declarative experiment-spec format: load + validate TOML/JSON/dicts.
+
+A spec file declares *what* to measure, not *how* to run it::
+
+    [spec]
+    name = "fig7"
+    description = "per-benchmark speedups over the OoO baseline"
+
+    [[matrix]]                       # one cross-product group of sims
+    name = "grid"
+    workloads = "scale"              # the ExperimentScale's benchmark set
+    techniques = ["ooo", "pre", "imp", "vr", "dvr", "oracle"]
+
+    [analysis.table]                 # derived artifact over the group
+    fn = "speedup_table"
+    needs = ["grid"]
+    [analysis.table.args]
+    baseline = "ooo"
+    columns = ["pre", "imp", "vr", "dvr", "oracle"]
+
+The loader accepts a ``.toml`` path, a ``.json`` path, or an
+already-parsed dict, validates the whole document against the grammar
+below, and returns a normalized :class:`Spec`.  Every validation failure
+raises :class:`SpecError` whose message names the offending element and
+what was expected -- specs are user-written data, so "good error
+messages" is part of the format.
+
+Grammar (all unknown keys are rejected)::
+
+    spec        { name, description? }
+    defaults?   { knobs? {path -> value} }          applied to every group
+    matrix      table or array-of-tables, each:
+                { name?, workloads, techniques, knobs? {path -> [values]},
+                  exclude? [ {axis -> value, ...} ] }
+    analysis    { <name> -> { fn, needs [group|analysis names], args? } }
+
+``workloads`` is either the string ``"scale"`` (the active
+:class:`~repro.harness.experiments.ExperimentScale`'s full benchmark
+set), ``"scale-gap"`` (its GAP kernels only), or an explicit array of
+``{workload, params?, label?}`` tables.  Knob paths are dotted
+``SimConfig`` field paths (``core.rob_size``, ``memsys.l1d_mshrs``,
+``max_instructions``); validity is checked at load time against the
+dataclass fields.
+
+TOML parsing uses :mod:`tomllib` when available (Python >= 3.11) and
+falls back to a built-in parser of the TOML subset the grammar needs
+(tables, arrays of tables, strings/ints/floats/bools, arrays, inline
+tables, comments), so spec files work on 3.10 without any new
+dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, fields, is_dataclass
+
+try:
+    import tomllib
+except ImportError:                  # Python < 3.11: built-in subset parser
+    tomllib = None
+
+
+class SpecError(ValueError):
+    """A spec document is malformed; the message says where and why."""
+
+
+# ---------------------------------------------------------------------------
+# Minimal TOML subset parser (3.10 fallback)
+# ---------------------------------------------------------------------------
+class _MiniTomlError(ValueError):
+    pass
+
+
+def _split_toml_key(text, lineno):
+    """Split a dotted key, honouring quoted segments (``"core.rob_size"``)."""
+    parts = []
+    current = ""
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch in "\"'":
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise _MiniTomlError(f"line {lineno}: unterminated quoted key")
+            current += text[i + 1:end]
+            i = end + 1
+        elif ch == ".":
+            parts.append(current.strip())
+            current = ""
+            i += 1
+        else:
+            current += ch
+            i += 1
+    parts.append(current.strip())
+    if any(not part for part in parts):
+        raise _MiniTomlError(f"line {lineno}: empty key segment in {text!r}")
+    return parts
+
+
+def _parse_toml_value(text, lineno):
+    """One TOML value: string, number, bool, array, or inline table."""
+    text = text.strip()
+    if not text:
+        raise _MiniTomlError(f"line {lineno}: missing value")
+    if text[0] in "\"'":
+        quote = text[0]
+        end = text.find(quote, 1)
+        if end < 0:
+            raise _MiniTomlError(f"line {lineno}: unterminated string")
+        rest = text[end + 1:].strip()
+        if rest:
+            raise _MiniTomlError(f"line {lineno}: trailing data {rest!r}")
+        value = text[1:end]
+        if quote == '"':
+            value = value.replace("\\n", "\n").replace("\\t", "\t") \
+                         .replace('\\"', '"').replace("\\\\", "\\")
+        return value
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("["):
+        return _parse_toml_array(text, lineno)
+    if text.startswith("{"):
+        return _parse_toml_inline_table(text, lineno)
+    try:
+        if any(ch in text for ch in ".eE") and not text.startswith("0x"):
+            return float(text)
+        return int(text, 0)
+    except ValueError:
+        raise _MiniTomlError(f"line {lineno}: cannot parse value {text!r}") \
+            from None
+
+
+def _split_top_level(body, lineno):
+    """Split ``a, b, c`` at depth 0 (respects nested [] {} and strings)."""
+    items = []
+    depth = 0
+    current = ""
+    in_string = None
+    for ch in body:
+        if in_string:
+            current += ch
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "\"'":
+            in_string = ch
+            current += ch
+        elif ch in "[{":
+            depth += 1
+            current += ch
+        elif ch in "]}":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            items.append(current)
+            current = ""
+        else:
+            current += ch
+    if in_string or depth != 0:
+        raise _MiniTomlError(f"line {lineno}: unbalanced value")
+    if current.strip():
+        items.append(current)
+    return items
+
+
+def _parse_toml_array(text, lineno):
+    if not text.endswith("]"):
+        raise _MiniTomlError(f"line {lineno}: unterminated array")
+    body = text[1:-1].strip()
+    if not body:
+        return []
+    return [_parse_toml_value(item, lineno)
+            for item in _split_top_level(body, lineno)]
+
+
+def _parse_toml_inline_table(text, lineno):
+    if not text.endswith("}"):
+        raise _MiniTomlError(f"line {lineno}: unterminated inline table")
+    body = text[1:-1].strip()
+    table = {}
+    if not body:
+        return table
+    for item in _split_top_level(body, lineno):
+        if "=" not in item:
+            raise _MiniTomlError(f"line {lineno}: inline table entry "
+                                 f"{item!r} has no '='")
+        key_text, value_text = item.split("=", 1)
+        target = table
+        parts = _split_toml_key(key_text.strip(), lineno)
+        for part in parts[:-1]:
+            target = target.setdefault(part, {})
+        target[parts[-1]] = _parse_toml_value(value_text, lineno)
+    return table
+
+
+def _strip_toml_comment(line, lineno):
+    """Drop a trailing ``# comment`` (not inside a string)."""
+    in_string = None
+    for i, ch in enumerate(line):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in "\"'":
+            in_string = ch
+        elif ch == "#":
+            return line[:i]
+    if in_string:
+        raise _MiniTomlError(f"line {lineno}: unterminated string")
+    return line
+
+
+def _descend(document, parts, lineno):
+    """Walk/create nested tables; an array-of-tables means its last entry."""
+    target = document
+    for part in parts:
+        if isinstance(target, list):
+            target = target[-1]
+        nxt = target.setdefault(part, {})
+        if isinstance(nxt, list):
+            nxt = nxt[-1] if nxt else target[part]
+        elif not isinstance(nxt, dict):
+            raise _MiniTomlError(f"line {lineno}: {part!r} is already a "
+                                 f"value, not a table")
+        target = nxt
+    return target
+
+
+def parse_mini_toml(text):
+    """Parse the TOML subset spec files use into plain dicts/lists.
+
+    Used only when :mod:`tomllib` is unavailable (Python 3.10); on newer
+    interpreters the stdlib parser is authoritative and the test suite
+    pins both parsers equal over every checked-in spec file.
+    """
+    document = {}
+    current = document
+    lines = text.split("\n")
+    lineno = 0
+    while lineno < len(lines):
+        raw = lines[lineno]
+        lineno += 1
+        line = _strip_toml_comment(raw, lineno).strip()
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise _MiniTomlError(f"line {lineno}: malformed table array "
+                                     f"header {line!r}")
+            parts = _split_toml_key(line[2:-2].strip(), lineno)
+            parent = _descend(document, parts[:-1], lineno)
+            array = parent.setdefault(parts[-1], [])
+            if not isinstance(array, list):
+                raise _MiniTomlError(f"line {lineno}: {parts[-1]!r} is not "
+                                     f"an array of tables")
+            current = {}
+            array.append(current)
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise _MiniTomlError(f"line {lineno}: malformed table "
+                                     f"header {line!r}")
+            parts = _split_toml_key(line[1:-1].strip(), lineno)
+            current = _descend(document, parts, lineno)
+            continue
+        if "=" not in line:
+            raise _MiniTomlError(f"line {lineno}: expected 'key = value', "
+                                 f"got {line!r}")
+        key_text, value_text = line.split("=", 1)
+        # Multi-line arrays: accumulate until brackets balance.
+        while value_text.count("[") > value_text.count("]") \
+                and lineno < len(lines):
+            extra = _strip_toml_comment(lines[lineno], lineno + 1)
+            lineno += 1
+            value_text += " " + extra.strip()
+        parts = _split_toml_key(key_text.strip(), lineno)
+        target = _descend(current, parts[:-1], lineno)
+        if parts[-1] in target:
+            raise _MiniTomlError(f"line {lineno}: duplicate key "
+                                 f"{'.'.join(parts)!r}")
+        target[parts[-1]] = _parse_toml_value(value_text, lineno)
+    return document
+
+
+# ---------------------------------------------------------------------------
+# Normalized spec structure
+# ---------------------------------------------------------------------------
+@dataclass
+class MatrixGroup:
+    """One cross-product of sims: workloads x techniques x knob values."""
+
+    name: str
+    workloads: object                # "scale" | "scale-gap" | [entry dicts]
+    techniques: tuple
+    knobs: dict = field(default_factory=dict)     # path -> [values]
+    exclude: tuple = ()              # ({axis -> value}, ...)
+
+
+@dataclass
+class AnalysisDef:
+    """One derived artifact: a registered pure function over its parents."""
+
+    name: str
+    fn: str
+    needs: tuple                     # group and/or analysis names
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class Spec:
+    """A validated spec document, ready to concretize."""
+
+    name: str
+    description: str = ""
+    groups: tuple = ()               # (MatrixGroup, ...) in document order
+    analyses: tuple = ()             # (AnalysisDef, ...) in document order
+    defaults: dict = field(default_factory=dict)  # knob path -> value
+    source: str = ""                 # file path ("" for dict specs)
+    digest: str = ""                 # sha256 of the source document
+
+    def group(self, name):
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+
+def _context(where):
+    return f"{where}: " if where else ""
+
+
+def _require_type(value, types, where, what):
+    if not isinstance(value, types):
+        names = "/".join(t.__name__ for t in
+                         (types if isinstance(types, tuple) else (types,)))
+        raise SpecError(f"{_context(where)}{what} must be {names}, "
+                        f"got {type(value).__name__}")
+    return value
+
+
+def _reject_unknown_keys(data, allowed, where):
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SpecError(f"{_context(where)}unknown key(s) "
+                        f"{', '.join(repr(k) for k in unknown)} "
+                        f"(expected: {', '.join(sorted(allowed))})")
+
+
+# ---------------------------------------------------------------------------
+# Knob-path validation against the SimConfig dataclass tree
+# ---------------------------------------------------------------------------
+def validate_knob_path(path, where=""):
+    """Check a dotted knob path names a real ``SimConfig`` leaf field."""
+    from ..config import SimConfig
+    if str(path) == "technique":
+        raise SpecError(f"{_context(where)}'technique' is a matrix axis "
+                        f"('techniques = [...]'), not a knob")
+    cls = SimConfig
+    parts = str(path).split(".")
+    hint = cls
+    for i, part in enumerate(parts):
+        matching = {f.name: f for f in fields(cls)}
+        if part not in matching:
+            prefix = ".".join(parts[:i]) or "SimConfig"
+            options = ", ".join(sorted(matching))
+            raise SpecError(
+                f"{_context(where)}unknown knob {path!r}: field {part!r} "
+                f"of {prefix} does not exist (known fields: {options})")
+        hint = matching[part].type
+        # Dataclass fields carry string annotations under
+        # ``from __future__ import annotations``; resolve by name.
+        if isinstance(hint, str):
+            from .. import config as config_module
+            hint = getattr(config_module, hint, None)
+        if is_dataclass(hint):
+            cls = hint
+        elif i != len(parts) - 1:
+            raise SpecError(
+                f"{_context(where)}knob {path!r} descends into "
+                f"{'.'.join(parts[:i + 1])!r}, which is a plain value, "
+                f"not a config section")
+    if is_dataclass(hint):
+        options = ", ".join(f"{path}.{f.name}" for f in fields(hint))
+        raise SpecError(
+            f"{_context(where)}knob {path!r} names a whole config section, "
+            f"not a value; pick one of its fields ({options})")
+    return path
+
+
+def _validate_knobs(knobs, where, *, values_are_lists):
+    _require_type(knobs, dict, where, "'knobs'")
+    validated = {}
+    for path, values in knobs.items():
+        validate_knob_path(path, where=where)
+        if values_are_lists:
+            _require_type(values, list, f"{where} knob {path!r}",
+                          "the axis values")
+            if not values:
+                raise SpecError(f"{_context(where)}knob {path!r} has an "
+                                f"empty value list: every axis needs at "
+                                f"least one value")
+            validated[str(path)] = list(values)
+        else:
+            validated[str(path)] = values
+    return validated
+
+
+def _validate_workloads(workloads, where):
+    if isinstance(workloads, str):
+        if workloads not in ("scale", "scale-gap"):
+            raise SpecError(f"{_context(where)}'workloads' string must be "
+                            f"'scale' or 'scale-gap', got {workloads!r}")
+        return workloads
+    _require_type(workloads, list, where, "'workloads'")
+    if not workloads:
+        raise SpecError(f"{_context(where)}'workloads' is an empty list: "
+                        f"a matrix group needs at least one workload")
+    from ..workloads import ALL_WORKLOADS
+    entries = []
+    for i, entry in enumerate(workloads):
+        entry_where = f"{where} workloads[{i}]"
+        _require_type(entry, dict, entry_where, "each workload entry")
+        _reject_unknown_keys(entry, ("workload", "params", "label"),
+                             entry_where)
+        name = entry.get("workload")
+        if not isinstance(name, str) or name not in ALL_WORKLOADS:
+            raise SpecError(f"{_context(entry_where)}unknown workload "
+                            f"{name!r} (known: "
+                            f"{', '.join(sorted(ALL_WORKLOADS))})")
+        params = dict(entry.get("params", {}))
+        label = entry.get("label") or "_".join(
+            [name] + [str(v) for _k, v in sorted(params.items())])
+        entries.append({"workload": name, "params": params, "label": label})
+    return entries
+
+
+def _validate_techniques(techniques, where):
+    from ..config import ALL_TECHNIQUES, DVR_BREAKDOWN
+    known = tuple(ALL_TECHNIQUES) + tuple(DVR_BREAKDOWN)
+    _require_type(techniques, list, where, "'techniques'")
+    if not techniques:
+        raise SpecError(f"{_context(where)}'techniques' is empty: a matrix "
+                        f"group needs at least one technique")
+    seen = []
+    for technique in techniques:
+        if technique not in known:
+            raise SpecError(f"{_context(where)}unknown technique "
+                            f"{technique!r} (known: "
+                            f"{', '.join(sorted(set(known)))})")
+        if technique in seen:
+            raise SpecError(f"{_context(where)}technique {technique!r} is "
+                            f"listed twice")
+        seen.append(technique)
+    return tuple(seen)
+
+
+def _validate_exclusions(exclude, group, where):
+    _require_type(exclude, list, where, "'exclude'")
+    validated = []
+    axes = {"workload", "label", "technique"} | set(group.get("knobs", {}))
+    for i, clause in enumerate(exclude):
+        clause_where = f"{where} exclude[{i}]"
+        _require_type(clause, dict, clause_where, "each exclusion")
+        if not clause:
+            raise SpecError(f"{_context(clause_where)}an empty exclusion "
+                            f"would eliminate every leaf; name at least "
+                            f"one axis")
+        for axis in clause:
+            if axis not in axes:
+                raise SpecError(
+                    f"{_context(clause_where)}unknown axis {axis!r} "
+                    f"(this group's axes: {', '.join(sorted(axes))})")
+        validated.append(dict(clause))
+    return tuple(validated)
+
+
+def _validate_group(data, index, used_names):
+    where = f"matrix group #{index + 1}"
+    _require_type(data, dict, where, "each [[matrix]] entry")
+    _reject_unknown_keys(
+        data, ("name", "workloads", "techniques", "knobs", "exclude"), where)
+    name = data.get("name", "matrix" if index == 0 else f"matrix{index + 1}")
+    _require_type(name, str, where, "'name'")
+    if name in used_names:
+        raise SpecError(f"{_context(where)}duplicate group name {name!r}")
+    where = f"matrix group {name!r}"
+    if "workloads" not in data:
+        raise SpecError(f"{_context(where)}missing 'workloads' "
+                        f"(\"scale\", \"scale-gap\", or an explicit list)")
+    if "techniques" not in data:
+        raise SpecError(f"{_context(where)}missing 'techniques'")
+    workloads = _validate_workloads(data["workloads"], where)
+    techniques = _validate_techniques(data["techniques"], where)
+    knobs = _validate_knobs(data.get("knobs", {}), where,
+                            values_are_lists=True)
+    exclude = _validate_exclusions(data.get("exclude", []),
+                                   {"knobs": knobs}, where)
+    return MatrixGroup(name=name, workloads=workloads, techniques=techniques,
+                       knobs=knobs, exclude=exclude)
+
+
+def _validate_analysis(name, data, known_parents):
+    where = f"analysis {name!r}"
+    from .registry import ANALYSES
+    _require_type(data, dict, where, "the analysis definition")
+    _reject_unknown_keys(data, ("fn", "needs", "args"), where)
+    fn = data.get("fn")
+    if not isinstance(fn, str) or fn not in ANALYSES:
+        raise SpecError(f"{_context(where)}unknown analysis fn {fn!r} "
+                        f"(registered: {', '.join(sorted(ANALYSES))})")
+    needs = data.get("needs")
+    _require_type(needs, list, where, "'needs'")
+    if not needs:
+        raise SpecError(f"{_context(where)}'needs' is empty: an analysis "
+                        f"must consume at least one matrix group or "
+                        f"upstream analysis")
+    for need in needs:
+        if need not in known_parents:
+            raise SpecError(f"{_context(where)}'needs' references "
+                            f"{need!r}, which is neither a matrix group "
+                            f"nor an analysis defined in this spec "
+                            f"(known: {', '.join(sorted(known_parents))})")
+    args = data.get("args", {})
+    _require_type(args, dict, where, "'args'")
+    return AnalysisDef(name=name, fn=fn, needs=tuple(needs), args=dict(args))
+
+
+# ---------------------------------------------------------------------------
+# Document -> Spec
+# ---------------------------------------------------------------------------
+def spec_from_dict(document, source="", digest=""):
+    """Validate a parsed spec document into a :class:`Spec`."""
+    _require_type(document, dict, "", "a spec document")
+    _reject_unknown_keys(document, ("spec", "defaults", "matrix", "analysis"),
+                         "spec document")
+    header = document.get("spec")
+    if header is None:
+        raise SpecError("spec document: missing the [spec] header table "
+                        "(with at least 'name')")
+    _require_type(header, dict, "[spec]", "the header")
+    _reject_unknown_keys(header, ("name", "description"), "[spec]")
+    name = header.get("name")
+    if not isinstance(name, str) or not name:
+        raise SpecError("[spec]: 'name' must be a non-empty string")
+    description = header.get("description", "")
+    _require_type(description, str, "[spec]", "'description'")
+
+    defaults_data = document.get("defaults", {})
+    _require_type(defaults_data, dict, "[defaults]", "the defaults table")
+    _reject_unknown_keys(defaults_data, ("knobs",), "[defaults]")
+    defaults = _validate_knobs(defaults_data.get("knobs", {}), "[defaults]",
+                               values_are_lists=False)
+
+    matrix = document.get("matrix")
+    if matrix is None:
+        raise SpecError("spec document: missing [[matrix]] -- a spec needs "
+                        "at least one matrix group of simulations")
+    if isinstance(matrix, dict):
+        matrix = [matrix]
+    _require_type(matrix, list, "", "'matrix'")
+    if not matrix:
+        raise SpecError("spec document: 'matrix' is empty -- a spec needs "
+                        "at least one matrix group of simulations")
+    groups = []
+    for index, group_data in enumerate(matrix):
+        groups.append(_validate_group(group_data,
+                                      index, [g.name for g in groups]))
+
+    analyses_data = document.get("analysis", {})
+    _require_type(analyses_data, dict, "[analysis]", "the analysis table")
+    known = {group.name for group in groups} | set(analyses_data)
+    overlap = {group.name for group in groups} & set(analyses_data)
+    if overlap:
+        raise SpecError(f"analysis name(s) {', '.join(sorted(overlap))} "
+                        f"collide with matrix group names; 'needs' edges "
+                        f"would be ambiguous")
+    analyses = tuple(_validate_analysis(analysis_name, data, known)
+                     for analysis_name, data in analyses_data.items())
+
+    return Spec(name=name, description=description, groups=tuple(groups),
+                analyses=analyses, defaults=defaults, source=source,
+                digest=digest)
+
+
+def parse_toml(text):
+    """Parse TOML text: stdlib tomllib when present, subset parser else."""
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise SpecError(f"TOML parse error: {error}") from error
+    try:
+        return parse_mini_toml(text)
+    except _MiniTomlError as error:
+        raise SpecError(f"TOML parse error: {error}") from error
+
+
+def load_spec(source):
+    """Load + validate a spec from a path (.toml/.json) or a dict."""
+    if isinstance(source, dict):
+        digest = hashlib.sha256(
+            json.dumps(source, sort_keys=True, default=list).encode()
+        ).hexdigest()
+        return spec_from_dict(source, source="", digest=digest)
+    path = os.fspath(source)
+    if not os.path.exists(path):
+        raise SpecError(f"spec file {path!r} does not exist")
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    digest = hashlib.sha256(raw).hexdigest()
+    text = raw.decode("utf-8")
+    if path.endswith(".json"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"{path}: JSON parse error: {error}") from error
+    elif path.endswith(".toml"):
+        try:
+            document = parse_toml(text)
+        except SpecError as error:
+            raise SpecError(f"{path}: {error}") from None
+    else:
+        raise SpecError(f"spec file {path!r} must end in .toml or .json")
+    try:
+        return spec_from_dict(document, source=path, digest=digest)
+    except SpecError as error:
+        raise SpecError(f"{path}: {error}") from None

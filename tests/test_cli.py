@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import os
+
 import pytest
 
 from repro.__main__ import main
@@ -301,3 +303,65 @@ class TestJsonExport:
         payload = json.loads(lines[0])
         assert payload["name"].startswith("Table 1")
         assert payload["rows"]
+
+
+class TestEnvCommand:
+    SPEC = os.path.join(os.path.dirname(__file__), "..", "specs",
+                        "fig7.toml")
+
+    def test_env_show(self, capsys):
+        assert main(["env", "show", "--spec", self.SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "spec        fig7" in out
+        assert "matrix      grid" in out
+        assert "analysis    table: fn=speedup_table" in out
+
+    def test_env_concretize(self, capsys):
+        assert main(["env", "concretize", "--spec", self.SPEC]) == 0
+        out = capsys.readouterr().out
+        assert "DAG fig7" in out and "dry run: nothing executed" in out
+
+    def test_env_run_dry_run(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["env", "run", "--spec", self.SPEC, "--dry-run",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "dry run: nothing executed" in out
+        assert "0/1 artifact(s) cached" in out
+        # Nothing executed: no ledger was written.
+        assert not os.path.exists(os.path.join(cache_dir, "runs.jsonl"))
+
+    def test_env_run_executes_spec(self, capsys, tmp_path):
+        import json
+        spec_path = tmp_path / "mini.json"
+        spec_path.write_text(json.dumps({
+            "spec": {"name": "mini"},
+            "matrix": {"name": "grid",
+                       "workloads": [{"workload": "kangaroo"}],
+                       "techniques": ["ooo", "dvr"],
+                       "knobs": {"max_instructions": [800]}},
+            "analysis": {"table": {
+                "fn": "speedup_table", "needs": ["grid"],
+                "args": {"columns": ["dvr"], "title": "mini table"}}},
+        }))
+        out_path = tmp_path / "out.jsonl"
+        assert main(["env", "run", "--spec", str(spec_path),
+                     "--out", str(out_path)]) == 0
+        assert "mini table" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text().strip())
+        assert payload["name"] == "mini table"
+        assert payload["rows"][-1][0] == "H-mean"
+
+    def test_env_requires_spec(self, capsys):
+        assert main(["env", "run"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_env_unknown_action(self, capsys):
+        assert main(["env", "explode", "--spec", self.SPEC]) == 2
+        assert "unknown env action" in capsys.readouterr().err
+
+    def test_env_bad_spec_reports_error(self, capsys, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text('{"spec": {"name": "x"}}')
+        assert main(["env", "run", "--spec", str(spec_path)]) == 2
+        assert "matrix" in capsys.readouterr().err

@@ -179,6 +179,17 @@ class TestExperimentScale:
         monkeypatch.setenv("REPRO_SCALE", "small")
         assert len(ExperimentScale.from_env().gap_graphs) == 2
 
+    def test_env_paper_alias_and_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert len(ExperimentScale.from_env().gap_graphs) == 5
+        monkeypatch.setenv("REPRO_SCALE", "")
+        assert len(ExperimentScale.from_env().gap_graphs) == 2
+
+    def test_env_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ful")
+        with pytest.raises(ValueError, match="REPRO_SCALE.*'ful'.*small"):
+            ExperimentScale.from_env()
+
     def test_table1_renders(self):
         text = table1_config().render()
         assert "ROB size" in text and "350" in text

@@ -1,0 +1,229 @@
+"""Concretizer edge cases: expansion, dedup, exclusions, cycles, hashes.
+
+Nothing in this file runs a simulation -- concretization only builds
+the DAG, so every case here is cheap.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentScale
+from repro.specs import SpecError, apply_knob, concretize
+from repro.specs.concretize import CONCRETIZER_VERSION
+
+SPECS_DIR = os.path.join(os.path.dirname(__file__), "..", "specs")
+
+
+@pytest.fixture
+def tiny_scale():
+    return ExperimentScale(gap_graphs=(), hpcdb=("kangaroo", "nas-is"),
+                           max_instructions=2_000)
+
+
+def grid_doc(name="t", knobs=None, exclude=None, techniques=("ooo", "dvr"),
+             analyses=None):
+    matrix = {"name": "grid", "workloads": "scale",
+              "techniques": list(techniques)}
+    if knobs:
+        matrix["knobs"] = knobs
+    if exclude:
+        matrix["exclude"] = exclude
+    return {"spec": {"name": name},
+            "matrix": matrix,
+            "analysis": analyses if analyses is not None else {
+                "table": {"fn": "speedup_table", "needs": ["grid"],
+                          "args": {"columns": ["dvr"]}}}}
+
+
+class TestExpansion:
+    def test_counts_workloads_x_techniques_x_knobs(self, tiny_scale):
+        dag = concretize(
+            grid_doc(knobs={"core.rob_size": [128, 256, 512]}), tiny_scale)
+        # 2 workloads x 2 techniques x 3 knob values, no shared points.
+        assert dag.leaf_count == 12
+        assert len(dag.sim_nodes) == 12
+        assert dag.stats()["deduplicated"] == 0
+        assert dag.node_count() == 13
+
+    def test_group_axes_preserve_declared_order(self, tiny_scale):
+        dag = concretize(
+            grid_doc(knobs={"core.rob_size": [512, 128],
+                            "memsys.l1d_mshrs": [8, 4]}), tiny_scale)
+        grid = dag.groups["grid"]
+        assert list(grid.axes) == ["core.rob_size", "memsys.l1d_mshrs"]
+        assert grid.axes["core.rob_size"] == [512, 128]
+        assert grid.labels == ("kangaroo", "nas-is")
+
+    def test_exclusion_removes_matching_leaves(self, tiny_scale):
+        dag = concretize(
+            grid_doc(knobs={"core.rob_size": [128, 256]},
+                     exclude=[{"technique": "dvr",
+                               "core.rob_size": 128}]), tiny_scale)
+        assert dag.leaf_count == 2 * 2 * 2 - 2
+        grid = dag.groups["grid"]
+        assert not any(leaf.technique == "dvr"
+                       and leaf.knobs["core.rob_size"] == 128
+                       for leaf in grid.leaves)
+        assert grid.has_point({"core.rob_size": 128})
+        assert grid.has_point({"core.rob_size": 256})
+
+    def test_exclusion_eliminating_all_leaves_rejected(self, tiny_scale):
+        doc = grid_doc(exclude=[{"technique": "ooo"}, {"technique": "dvr"}])
+        with pytest.raises(SpecError,
+                           match="zero leaves.*eliminate all 4"):
+            concretize(doc, tiny_scale)
+
+    def test_empty_benchmark_set_rejected(self):
+        empty = ExperimentScale(gap_graphs=(), hpcdb=())
+        with pytest.raises(SpecError, match="zero workloads"):
+            concretize(grid_doc(), empty)
+
+    def test_defaults_apply_to_every_leaf(self, tiny_scale):
+        doc = grid_doc()
+        doc["defaults"] = {"knobs": {"memsys.l1d_mshrs": 4}}
+        dag = concretize(doc, tiny_scale)
+        assert all(node.job.config.memsys.l1d_mshrs == 4
+                   for node in dag.sim_nodes.values())
+
+    def test_group_knobs_override_defaults(self, tiny_scale):
+        doc = grid_doc(knobs={"memsys.l1d_mshrs": [8]})
+        doc["defaults"] = {"knobs": {"memsys.l1d_mshrs": 4}}
+        dag = concretize(doc, tiny_scale)
+        assert all(node.job.config.memsys.l1d_mshrs == 8
+                   for node in dag.sim_nodes.values())
+
+
+class TestDedup:
+    def test_identical_leaves_across_groups_share_one_node(self, tiny_scale):
+        doc = {
+            "spec": {"name": "dedup"},
+            "matrix": [
+                {"name": "a", "workloads": "scale", "techniques": ["ooo"]},
+                {"name": "b", "workloads": "scale",
+                 "techniques": ["ooo", "dvr"]},
+            ],
+            "analysis": {"table": {"fn": "speedup_table", "needs": ["b"],
+                                   "args": {"columns": ["dvr"]}}},
+        }
+        dag = concretize(doc, tiny_scale)
+        # Group a's 2 ooo leaves are the same sims as b's 2 ooo leaves.
+        assert dag.leaf_count == 2 + 4
+        assert len(dag.sim_nodes) == 4
+        assert dag.stats()["deduplicated"] == 2
+
+    def test_fig2_sweep_shares_baseline_points(self, tiny_scale):
+        dag = concretize(os.path.join(SPECS_DIR, "fig2.toml"), tiny_scale)
+        # base: 2 ooo @ default ROB 350; sweep: 2 x 2 x 5 including
+        # ooo @ 350, which concretizes to the same JobSpecs as base.
+        assert dag.leaf_count == 2 + 20
+        assert dag.stats()["deduplicated"] == 2
+        assert len(dag.sim_nodes) == 20
+
+    def test_mere_spec_shape(self):
+        scale = ExperimentScale(max_instructions=2_000)
+        dag = concretize(os.path.join(SPECS_DIR, "mere_rob.toml"), scale)
+        grid = dag.groups["grid"]
+        # 5 GAP kernels x 2 graphs x 3 techniques x (3x2 - 1) combos.
+        assert dag.leaf_count == 10 * 3 * 5
+        assert not grid.has_point({"core.rob_size": 16,
+                                   "memsys.l1d_mshrs": 8})
+        assert len(dag.analyses) == 2
+
+
+class TestCycles:
+    def test_needs_cycle_rejected(self, tiny_scale):
+        doc = grid_doc(analyses={
+            "a": {"fn": "speedup_table", "needs": ["grid", "b"],
+                  "args": {"columns": ["dvr"]}},
+            "b": {"fn": "speedup_table", "needs": ["grid", "a"],
+                  "args": {"columns": ["dvr"]}},
+        })
+        with pytest.raises(SpecError, match="cycle.*a -> b -> a|"
+                                            "cycle.*b -> a -> b"):
+            concretize(doc, tiny_scale)
+
+    def test_self_cycle_rejected(self, tiny_scale):
+        doc = grid_doc(analyses={
+            "a": {"fn": "speedup_table", "needs": ["a"],
+                  "args": {"columns": ["dvr"]}}})
+        with pytest.raises(SpecError, match="cycle.*a -> a"):
+            concretize(doc, tiny_scale)
+
+    def test_chained_analyses_get_topological_levels(self, tiny_scale):
+        doc = grid_doc(analyses={
+            # Declared out of order on purpose: b needs a.
+            "b": {"fn": "speedup_table", "needs": ["a"],
+                  "args": {"columns": ["dvr"]}},
+            "a": {"fn": "speedup_table", "needs": ["grid"],
+                  "args": {"columns": ["dvr"]}},
+        })
+        dag = concretize(doc, tiny_scale)
+        assert [node.name for node in dag.analyses] == ["a", "b"]
+        levels = dag.levels()
+        assert len(levels) == 3
+        assert levels[1] == ["analysis:a"]
+        assert levels[2] == ["analysis:b"]
+
+
+class TestHashes:
+    def test_same_spec_same_hashes(self, tiny_scale):
+        doc = grid_doc(knobs={"core.rob_size": [128, 256]})
+        first = concretize(doc, tiny_scale)
+        second = concretize(doc, tiny_scale)
+        assert first.dag_hash == second.dag_hash
+        assert first.analyses[0].hash == second.analyses[0].hash
+        assert sorted(first.sim_nodes) == sorted(second.sim_nodes)
+
+    def test_knob_edit_rekeys_only_affected_subgraph(self, tiny_scale):
+        def doc(mshrs):
+            return {
+                "spec": {"name": "local"},
+                "matrix": [
+                    {"name": "a", "workloads": "scale",
+                     "techniques": ["ooo", "dvr"],
+                     "knobs": {"memsys.l1d_mshrs": [mshrs]}},
+                    {"name": "b", "workloads": "scale",
+                     "techniques": ["ooo", "vr"]},
+                ],
+                "analysis": {
+                    "ta": {"fn": "speedup_table", "needs": ["a"],
+                           "args": {"columns": ["dvr"]}},
+                    "tb": {"fn": "speedup_table", "needs": ["b"],
+                           "args": {"columns": ["vr"]}},
+                },
+            }
+        before = concretize(doc(8), tiny_scale)
+        after = concretize(doc(4), tiny_scale)
+        node = {d.name: d.hash for d in before.analyses}
+        edited = {d.name: d.hash for d in after.analyses}
+        assert node["ta"] != edited["ta"]       # downstream of the edit
+        assert node["tb"] == edited["tb"]       # untouched subgraph
+        assert before.dag_hash != after.dag_hash
+
+    def test_scale_change_rekeys_sims(self, tiny_scale):
+        other = ExperimentScale(gap_graphs=(), hpcdb=("kangaroo", "nas-is"),
+                                max_instructions=3_000)
+        first = concretize(grid_doc(), tiny_scale)
+        second = concretize(grid_doc(), other)
+        assert first.dag_hash != second.dag_hash
+
+    def test_stats_shape(self, tiny_scale):
+        stats = concretize(grid_doc(), tiny_scale).stats()
+        assert stats["concretizer_version"] == CONCRETIZER_VERSION
+        assert stats["nodes"] == stats["sim_nodes"] + stats["analysis_nodes"]
+        assert stats["levels"] == 2
+        assert stats["spec"] == "t" and stats["dag_hash"]
+
+
+class TestApplyKnob:
+    def test_nested_replace(self):
+        from repro.config import SimConfig
+        config = apply_knob(SimConfig(), "core.rob_size", 128)
+        assert config.core.rob_size == 128
+        assert SimConfig().core.rob_size == 350   # original untouched
+
+    def test_unknown_field_raises(self):
+        from repro.config import SimConfig
+        with pytest.raises(SpecError, match="no field 'robb'"):
+            apply_knob(SimConfig(), "core.robb", 1)

@@ -1,0 +1,250 @@
+"""Tests for the declarative spec format: parsing + schema validation."""
+
+import os
+
+import pytest
+
+from repro.specs import SpecError, load_spec, spec_from_dict
+from repro.specs.format import parse_mini_toml, parse_toml
+
+try:
+    import tomllib
+except ImportError:
+    tomllib = None
+
+SPECS_DIR = os.path.join(os.path.dirname(__file__), "..", "specs")
+CHECKED_IN = ("fig2.toml", "fig7.toml", "fig8.toml", "fig12.toml",
+              "mere_rob.toml")
+
+
+def minimal_doc(**overrides):
+    """A valid single-group spec document to perturb in error tests."""
+    doc = {
+        "spec": {"name": "t", "description": "d"},
+        "matrix": {"name": "grid", "workloads": "scale",
+                   "techniques": ["ooo", "dvr"]},
+        "analysis": {
+            "table": {"fn": "speedup_table", "needs": ["grid"],
+                      "args": {"columns": ["dvr"]}},
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestMiniTomlParser:
+    @pytest.mark.skipif(tomllib is None, reason="needs tomllib to compare")
+    @pytest.mark.parametrize("name", CHECKED_IN)
+    def test_matches_tomllib_on_checked_in_specs(self, name):
+        with open(os.path.join(SPECS_DIR, name)) as handle:
+            text = handle.read()
+        assert parse_mini_toml(text) == tomllib.loads(text)
+
+    def test_tables_arrays_and_scalars(self):
+        doc = parse_mini_toml(
+            '[spec]\nname = "x"  # comment\ncount = 3\nratio = 1.5\n'
+            'flag = true\nother = false\n')
+        assert doc == {"spec": {"name": "x", "count": 3, "ratio": 1.5,
+                               "flag": True, "other": False}}
+
+    def test_array_of_tables_with_subtable(self):
+        doc = parse_mini_toml(
+            '[[matrix]]\nname = "a"\n[matrix.knobs]\n"core.rob_size" = '
+            '[1, 2]\n[[matrix]]\nname = "b"\n')
+        assert doc["matrix"][0]["name"] == "a"
+        assert doc["matrix"][0]["knobs"] == {"core.rob_size": [1, 2]}
+        assert doc["matrix"][1] == {"name": "b"}
+
+    def test_multiline_array_and_inline_table(self):
+        doc = parse_mini_toml(
+            'values = [\n  1,  # one\n  2,\n  3,\n]\n'
+            'point = {x = 1, y = "two"}\n')
+        assert doc["values"] == [1, 2, 3]
+        assert doc["point"] == {"x": 1, "y": "two"}
+
+    def test_quoted_dotted_key_stays_one_segment(self):
+        doc = parse_mini_toml('[knobs]\n"core.rob_size" = [16]\n')
+        assert doc == {"knobs": {"core.rob_size": [16]}}
+
+    def test_parse_errors_are_spec_errors(self):
+        for text in ("key value\n", 'a = "unterminated\n', "a = [1, 2\n"):
+            if tomllib is None:
+                with pytest.raises(SpecError):
+                    parse_toml(text)
+            else:
+                with pytest.raises(ValueError):
+                    parse_mini_toml(text)
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_mini_toml("a = 1\na = 2\n")
+
+
+class TestLoadSpec:
+    @pytest.mark.parametrize("name", CHECKED_IN)
+    def test_checked_in_specs_load(self, name):
+        spec = load_spec(os.path.join(SPECS_DIR, name))
+        assert spec.groups and spec.analyses
+        assert spec.digest and spec.source.endswith(name)
+
+    def test_load_from_dict(self):
+        spec = load_spec(minimal_doc())
+        assert spec.name == "t"
+        assert spec.group("grid").techniques == ("ooo", "dvr")
+        assert spec.analyses[0].fn == "speedup_table"
+
+    def test_load_json_file(self, tmp_path):
+        import json
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(minimal_doc()))
+        spec = load_spec(str(path))
+        assert spec.name == "t" and spec.source == str(path)
+
+    def test_dict_digest_is_stable(self):
+        assert load_spec(minimal_doc()).digest \
+            == load_spec(minimal_doc()).digest
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("spec:\n")
+        with pytest.raises(SpecError, match=r"\.toml or \.json"):
+            load_spec(str(path))
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(SpecError, match="does not exist"):
+            load_spec("/no/such/spec.toml")
+
+
+class TestValidation:
+    def assert_rejects(self, doc, pattern):
+        with pytest.raises(SpecError, match=pattern):
+            spec_from_dict(doc)
+
+    def test_missing_header(self):
+        doc = minimal_doc()
+        del doc["spec"]
+        self.assert_rejects(doc, r"\[spec\] header")
+
+    def test_empty_name(self):
+        self.assert_rejects(minimal_doc(spec={"name": ""}), "non-empty")
+
+    def test_unknown_top_level_key(self):
+        self.assert_rejects(minimal_doc(extra={}), "unknown key.*'extra'")
+
+    def test_missing_matrix(self):
+        doc = minimal_doc()
+        del doc["matrix"]
+        self.assert_rejects(doc, r"\[\[matrix\]\]")
+
+    def test_unknown_technique(self):
+        doc = minimal_doc()
+        doc["matrix"]["techniques"] = ["warp-drive"]
+        self.assert_rejects(doc, "unknown technique 'warp-drive'")
+
+    def test_duplicate_technique(self):
+        doc = minimal_doc()
+        doc["matrix"]["techniques"] = ["dvr", "dvr"]
+        self.assert_rejects(doc, "listed twice")
+
+    def test_unknown_workload(self):
+        doc = minimal_doc()
+        doc["matrix"]["workloads"] = [{"workload": "doom"}]
+        self.assert_rejects(doc, "unknown workload 'doom'")
+
+    def test_empty_workload_list(self):
+        doc = minimal_doc()
+        doc["matrix"]["workloads"] = []
+        self.assert_rejects(doc, "at least one workload")
+
+    def test_bad_workload_string(self):
+        doc = minimal_doc()
+        doc["matrix"]["workloads"] = "everything"
+        self.assert_rejects(doc, "'scale' or 'scale-gap'")
+
+    def test_unknown_knob_path(self):
+        doc = minimal_doc()
+        doc["matrix"]["knobs"] = {"core.robb_size": [128]}
+        self.assert_rejects(doc, "unknown knob 'core.robb_size'.*rob_size")
+
+    def test_knob_naming_section_rejected(self):
+        doc = minimal_doc()
+        doc["matrix"]["knobs"] = {"core": [128]}
+        self.assert_rejects(doc, "whole config section")
+
+    def test_knob_descending_into_value_rejected(self):
+        doc = minimal_doc()
+        doc["matrix"]["knobs"] = {"core.rob_size.bits": [1]}
+        self.assert_rejects(doc, "plain value")
+
+    def test_technique_is_not_a_knob(self):
+        doc = minimal_doc()
+        doc["matrix"]["knobs"] = {"technique": ["dvr"]}
+        self.assert_rejects(doc, "matrix axis")
+
+    def test_empty_knob_values_rejected(self):
+        doc = minimal_doc()
+        doc["matrix"]["knobs"] = {"core.rob_size": []}
+        self.assert_rejects(doc, "empty value list")
+
+    def test_unknown_exclusion_axis(self):
+        doc = minimal_doc()
+        doc["matrix"]["exclude"] = [{"flavor": "salty"}]
+        self.assert_rejects(doc, "unknown axis 'flavor'")
+
+    def test_empty_exclusion_rejected(self):
+        doc = minimal_doc()
+        doc["matrix"]["exclude"] = [{}]
+        self.assert_rejects(doc, "eliminate every leaf")
+
+    def test_unknown_analysis_fn(self):
+        doc = minimal_doc()
+        doc["analysis"]["table"]["fn"] = "magic"
+        self.assert_rejects(doc, "unknown analysis fn 'magic'")
+
+    def test_empty_needs_rejected(self):
+        doc = minimal_doc()
+        doc["analysis"]["table"]["needs"] = []
+        self.assert_rejects(doc, "'needs' is empty")
+
+    def test_unknown_needs_rejected(self):
+        doc = minimal_doc()
+        doc["analysis"]["table"]["needs"] = ["nope"]
+        self.assert_rejects(doc, "references 'nope'")
+
+    def test_group_analysis_name_collision(self):
+        doc = minimal_doc()
+        doc["analysis"]["grid"] = {"fn": "speedup_table", "needs": ["grid"],
+                                   "args": {"columns": ["dvr"]}}
+        self.assert_rejects(doc, "collide")
+
+    def test_duplicate_group_name(self):
+        doc = minimal_doc()
+        doc["matrix"] = [dict(doc["matrix"]), dict(doc["matrix"])]
+        self.assert_rejects(doc, "duplicate group name")
+
+    def test_defaults_knobs_validated(self):
+        self.assert_rejects(minimal_doc(defaults={"knobs": {"bogus": 1}}),
+                            "unknown knob 'bogus'")
+
+    def test_valid_knob_paths_accepted(self):
+        doc = minimal_doc()
+        doc["matrix"]["knobs"] = {"core.rob_size": [128, 256],
+                                  "memsys.l1d_mshrs": [4],
+                                  "max_instructions": [1000]}
+        doc["defaults"] = {"knobs": {"memsys.dram_latency_cycles": 100}}
+        spec = spec_from_dict(doc)
+        assert set(spec.group("grid").knobs) == {
+            "core.rob_size", "memsys.l1d_mshrs", "max_instructions"}
+        assert spec.defaults == {"memsys.dram_latency_cycles": 100}
+
+    def test_explicit_workload_labels(self):
+        doc = minimal_doc()
+        doc["matrix"]["workloads"] = [
+            {"workload": "kangaroo"},
+            {"workload": "bfs", "params": {"graph": "KR"}, "label": "b"},
+        ]
+        spec = spec_from_dict(doc)
+        entries = spec.group("grid").workloads
+        assert entries[0]["label"] == "kangaroo"
+        assert entries[1] == {"workload": "bfs", "params": {"graph": "KR"},
+                              "label": "b"}
